@@ -1,0 +1,84 @@
+// Command mapc-datagen generates the 91-run training corpus of Section V-B
+// and writes it as CSV (features + target) to stdout or a file.
+//
+// Usage:
+//
+//	mapc-datagen                 # CSV to stdout
+//	mapc-datagen -o corpus.csv   # CSV to a file
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"mapc/internal/dataset"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	gen, err := dataset.NewGenerator(dataset.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	corpus, err := gen.Generate()
+	if err != nil {
+		fatal(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := writeCSV(w, corpus); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mapc-datagen: wrote %d data points (%d features + target)\n",
+		len(corpus.Points), len(corpus.FeatureNames))
+}
+
+func writeCSV(w io.Writer, corpus *dataset.Corpus) error {
+	cw := csv.NewWriter(w)
+	header := []string{"bench_a", "batch_a", "bench_b", "batch_b", "homogeneous"}
+	header = append(header, corpus.FeatureNames...)
+	header = append(header, "gpu_bag_time_sec")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := range corpus.Points {
+		p := &corpus.Points[i]
+		row := []string{
+			p.Members[0].Benchmark, strconv.Itoa(p.Members[0].Batch),
+			p.Members[1].Benchmark, strconv.Itoa(p.Members[1].Batch),
+			strconv.FormatBool(p.Homogeneous),
+		}
+		for _, v := range p.X {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, strconv.FormatFloat(p.Y, 'g', -1, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-datagen:", err)
+	os.Exit(1)
+}

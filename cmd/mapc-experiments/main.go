@@ -1,0 +1,59 @@
+// Command mapc-experiments regenerates the paper's evaluation artifacts
+// (Figures 1-12) on the simulated substrate and prints them as tables.
+//
+// Usage:
+//
+//	mapc-experiments                 # all figures
+//	mapc-experiments -only figure5   # one figure
+//	mapc-experiments -list           # list artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapc/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single artifact (e.g. figure5)")
+	list := flag.Bool("list", false, "list artifact IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.Generators() {
+			fmt.Printf("%-10s %s\n", g.ID, g.Doc)
+		}
+		for _, g := range experiments.ExtraGenerators() {
+			fmt.Printf("%-10s %s (extension)\n", g.ID, g.Doc)
+		}
+		return
+	}
+
+	env := experiments.DefaultEnv()
+	if *only != "" {
+		t, err := experiments.Run(env, *only)
+		if err != nil {
+			fatal(err)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	tables, err := experiments.All(env)
+	if err != nil {
+		fatal(err)
+	}
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command mapc-predict trains the full-feature predictor and predicts the
+// GPU execution time of one 2-application bag, comparing the prediction
+// with the simulated ground truth.
+//
+// Usage:
+//
+//	mapc-predict -a sift -b surf              # batch 20 each
+//	mapc-predict -a knn -abatch 80 -b svm -bbatch 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mapc/internal/core"
+	"mapc/internal/dataset"
+)
+
+func main() {
+	benchA := flag.String("a", "sift", "first benchmark")
+	benchB := flag.String("b", "surf", "second benchmark")
+	batchA := flag.Int("abatch", 20, "first benchmark's batch size")
+	batchB := flag.Int("bbatch", 20, "second benchmark's batch size")
+	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
+	flag.Parse()
+
+	gen, err := dataset.NewGenerator(dataset.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	var predictor *core.Predictor
+	if *modelPath != "" {
+		predictor, err = core.LoadFile(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "mapc-predict: generating training corpus...")
+		corpus, err := gen.Generate()
+		if err != nil {
+			fatal(err)
+		}
+		predictor, err = core.Train(corpus, core.SchemeFull, core.DefaultTreeParams())
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	a := dataset.Member{Benchmark: *benchA, Batch: *batchA}
+	b := dataset.Member{Benchmark: *benchB, Batch: *batchB}
+	x, fairness, err := gen.FeaturesFor(a, b)
+	if err != nil {
+		fatal(err)
+	}
+	pred, err := predictor.PredictRaw(x)
+	if err != nil {
+		fatal(err)
+	}
+
+	truth, err := gen.MeasurePoint(a, b)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("bag: %v + %v (fairness %.3f)\n", a, b, fairness)
+	fmt.Printf("predicted GPU bag time: %8.3f ms\n", pred*1e3)
+	fmt.Printf("simulated GPU bag time: %8.3f ms\n", truth.Y*1e3)
+	fmt.Printf("relative error:         %8.2f %%\n", abs(truth.Y-pred)/truth.Y*100)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-predict:", err)
+	os.Exit(1)
+}

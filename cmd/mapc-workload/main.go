@@ -1,0 +1,109 @@
+// Command mapc-workload inspects the instrumented description of one
+// benchmark run: its phases, instruction mixes, footprints and the
+// simulated CPU/GPU timing decomposition. It can also archive the workload
+// as JSON for replay.
+//
+// Usage:
+//
+//	mapc-workload -bench sift -batch 40
+//	mapc-workload -bench knn -batch 80 -json workload.json
+//	mapc-workload -bench orb -gpu-phases      # per-kernel GPU breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"mapc/internal/gpusim"
+	"mapc/internal/isa"
+	"mapc/internal/mica"
+	"mapc/internal/trace"
+	"mapc/internal/vision"
+)
+
+func main() {
+	benchName := flag.String("bench", "sift", "benchmark to instrument")
+	batch := flag.Int("batch", 20, "batch size")
+	seed := flag.Uint64("seed", 42, "scene synthesis seed")
+	jsonOut := flag.String("json", "", "archive the workload to this JSON file")
+	gpuPhases := flag.Bool("gpu-phases", false, "print the per-kernel GPU timing decomposition")
+	flag.Parse()
+
+	b, err := vision.ByName(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := vision.Run(b, *batch, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	w := res.Workload
+
+	fmt.Printf("workload %s batch=%d: %d phases, %d instructions, transfer %d bytes\n",
+		w.Benchmark, w.BatchSize, len(w.Phases), w.Instructions(), w.TransferBytes)
+	mix, err := mica.Analyze(w)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mix: %v\n", mix)
+	fmt.Printf("functional summary: %v\n\n", res.Summary)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tinstr\tmem%\tctl%\tfootprint\tpattern\treuse\tparallelism\tlaunches")
+	for i := range w.Phases {
+		p := &w.Phases[i]
+		total := p.Counts.Total()
+		memPct, ctlPct := 0.0, 0.0
+		if total > 0 {
+			memPct = float64(p.Counts[isa.MEM]) / float64(total) * 100
+			ctlPct = float64(p.Counts[isa.Control]) / float64(total) * 100
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%d\t%s\t%.2f\t%d\t%d\n",
+			p.Name, total, memPct, ctlPct, p.Footprint, p.Pattern,
+			p.Reuse, p.Parallelism, p.LaunchCount())
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	if *gpuPhases {
+		fmt.Println("\nGPU per-kernel decomposition (isolated run):")
+		bd, err := gpusim.PhaseBreakdown(gpusim.DefaultConfig(), []*trace.Workload{w}, 0)
+		if err != nil {
+			fatal(err)
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "phase\tcompute cyc\tstall cyc\ttotal cyc\toccupancy\tL2 miss\tTLB miss")
+		for _, p := range bd {
+			fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.2f\t%.3f\t%.3f\n",
+				p.Name, p.ComputeCycles, p.StallCycles, p.TotalCycles,
+				p.Occupancy, p.L2MissRate, p.TLBMissRate)
+		}
+		if err := tw.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		if err := w.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mapc-workload: archived to %s\n", *jsonOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-workload:", err)
+	os.Exit(1)
+}

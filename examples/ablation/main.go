@@ -1,0 +1,76 @@
+// Ablation: reproduce the paper's feature-scheme study (Figures 5-9 in
+// miniature) and inspect the learned tree — which features its decision
+// paths actually consult, and with what importance. This is the
+// "explainability" workflow Section VI-C argues for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mapc"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablation: ")
+
+	corpus, err := mapc.GenerateCorpus()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Scheme sweep: the Figure-5 bars plus custom combinations.
+	memCPU, err := mapc.NewScheme("mem+cputime", "mem", "cpu_time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuOnly, err := mapc.NewScheme("gputime", "gpu_time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemes := []mapc.Scheme{
+		mapc.SchemeInsmix, mapc.SchemeInsmixCPU,
+		mapc.SchemeInsmixCPUFair, mapc.SchemeFull,
+		memCPU, gpuOnly,
+	}
+	fmt.Println("LOOCV mean relative error by feature scheme:")
+	for _, s := range schemes {
+		res, err := mapc.LOOCV(corpus, s, mapc.DefaultTreeParams(), mapc.HoldOutOwn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-26s %8.2f%%\n", s.Name, mapc.MeanLOOCVError(res))
+	}
+
+	// Decision-path analysis with the full feature set.
+	res, err := mapc.LOOCV(corpus, mapc.SchemeFull, mapc.DefaultTreeParams(), mapc.HoldOutOwn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := mapc.AnalyzePaths(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfeature presence on LOOCV decision paths (Figure 10):")
+	for _, k := range stats.TopKinds() {
+		fmt.Printf("  %-10s in %5.1f%% of paths, %.2f uses/path\n",
+			k, stats.Presence[k], stats.MeanUses[k])
+	}
+
+	// Impurity-based importances of a tree fitted on the full corpus.
+	p, err := mapc.Train(corpus, mapc.SchemeFull)
+	if err != nil {
+		log.Fatal(err)
+	}
+	imps, err := p.Tree().FeatureImportances()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nimpurity-based feature importances (full-corpus tree):")
+	for i, name := range p.FeatureNames() {
+		if imps[i] >= 0.01 {
+			fmt.Printf("  %-12s %.3f\n", name, imps[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mapc
+
+go 1.22

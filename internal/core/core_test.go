@@ -1,0 +1,288 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mapc/internal/dataset"
+	"mapc/internal/features"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *dataset.Corpus
+	corpusErr  error
+)
+
+// testCorpus generates a reduced corpus (2 batch sizes) once per package:
+// large enough for meaningful folds, fast enough for CI.
+func testCorpus(t *testing.T) *dataset.Corpus {
+	t.Helper()
+	corpusOnce.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.BatchSizes = []int{20, 40, 80}
+		cfg.MixedPairs = 4
+		gen, err := dataset.NewGenerator(cfg)
+		if err != nil {
+			corpusErr = err
+			return
+		}
+		corpus, corpusErr = gen.Generate()
+	})
+	if corpusErr != nil {
+		t.Fatal(corpusErr)
+	}
+	return corpus
+}
+
+func TestSchemeColumns(t *testing.T) {
+	c := testCorpus(t)
+	cols, err := SchemeFull.Columns(c.FeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != len(c.FeatureNames) {
+		t.Errorf("full scheme selects %d of %d columns", len(cols), len(c.FeatureNames))
+	}
+	cols, err = SchemeInsmix.Columns(c.FeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 16 { // 8 categories x 2 replicas
+		t.Errorf("insmix selects %d columns, want 16", len(cols))
+	}
+	names, err := SchemeInsmixCPU.ColumnNames(c.FeatureNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundCPU := false
+	for _, n := range names {
+		if features.Kind(n) == features.KindCPUTime {
+			foundCPU = true
+		}
+		if features.Kind(n) == features.KindGPUTime {
+			t.Errorf("insmix+cputime selected %q", n)
+		}
+	}
+	if !foundCPU {
+		t.Error("insmix+cputime missing cpu_time columns")
+	}
+}
+
+func TestNewSchemeValidation(t *testing.T) {
+	if _, err := NewScheme("bad", "no-such-kind"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	s, err := NewScheme("ok", "mem", "fairness")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Kinds) != 2 {
+		t.Errorf("kinds %v", s.Kinds)
+	}
+}
+
+func TestSchemeNoMatchingColumns(t *testing.T) {
+	s := Scheme{Name: "empty", Kinds: []string{"mem"}}
+	if _, err := s.Columns([]string{"unrelated"}); err == nil {
+		t.Error("scheme with no columns accepted")
+	}
+}
+
+func TestTrainAndPredict(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeFull, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unpruned tree must reproduce its training points almost exactly.
+	for i := range c.Points {
+		got, err := p.PredictPoint(&c.Points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := (got - c.Points[i].Y) / c.Points[i].Y
+		if rel < -0.25 || rel > 0.25 {
+			t.Errorf("training point %d rel error %.2f", i, rel)
+		}
+	}
+	if p.TimeDivisor() != c.CPUTimeDivisor {
+		t.Errorf("divisor %v vs corpus %v", p.TimeDivisor(), c.CPUTimeDivisor)
+	}
+	if got := p.Scheme().Name; got != SchemeFull.Name {
+		t.Errorf("scheme %q", got)
+	}
+}
+
+func TestPredictVectorWidthCheck(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeFull, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PredictVector([]float64{1, 2}); err == nil {
+		t.Error("short vector accepted")
+	}
+	if _, err := p.PathVector([]float64{1}); err == nil {
+		t.Error("short vector accepted by PathVector")
+	}
+}
+
+func TestPredictRawAppliesNormalization(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeFull, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct a raw vector from a normalized point and check both
+	// paths agree.
+	pt := &c.Points[0]
+	raw := append([]float64(nil), pt.X...)
+	for j, n := range c.FeatureNames {
+		switch features.Kind(n) {
+		case features.KindCPUTime, features.KindGPUTime:
+			raw[j] *= c.CPUTimeDivisor
+		}
+	}
+	fromRaw, err := p.PredictRaw(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromNorm, err := p.PredictVector(pt.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromRaw != fromNorm {
+		t.Fatalf("raw path %v, normalized path %v", fromRaw, fromNorm)
+	}
+}
+
+func TestLOOCVProtocols(t *testing.T) {
+	c := testCorpus(t)
+	own, err := LOOCV(c, SchemeFull, DefaultTreeParams(), HoldOutOwn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	containing, err := LOOCV(c, SchemeFull, DefaultTreeParams(), HoldOutContaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(own) != 9 || len(containing) != 9 {
+		t.Fatalf("fold counts %d / %d", len(own), len(containing))
+	}
+	for i := range own {
+		// Own protocol holds out exactly the homogeneous batch variants.
+		if got := len(own[i].PerPoint); got != 3 {
+			t.Errorf("%s own-protocol test points %d, want 3", own[i].Benchmark, got)
+		}
+		// Containing protocol holds out strictly more.
+		if len(containing[i].PerPoint) <= len(own[i].PerPoint) {
+			t.Errorf("%s containing protocol not stricter", containing[i].Benchmark)
+		}
+		if own[i].MeanRelErr < 0 {
+			t.Errorf("negative error %v", own[i].MeanRelErr)
+		}
+		if len(own[i].Paths) != len(own[i].PerPoint) {
+			t.Errorf("%s paths/points mismatch", own[i].Benchmark)
+		}
+	}
+	if MeanLOOCVError(own) <= 0 {
+		t.Error("zero mean LOOCV error is implausible")
+	}
+	if MeanLOOCVError(nil) != 0 {
+		t.Error("MeanLOOCVError(nil)")
+	}
+}
+
+func TestEvaluateSchemeOrdering(t *testing.T) {
+	// The paper's central comparison: instruction mix alone must be far
+	// worse than the full feature set.
+	c := testCorpus(t)
+	insmix, err := EvaluateScheme(c, SchemeInsmix, DefaultTreeParams(), HoldOutOwn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := EvaluateScheme(c, SchemeFull, DefaultTreeParams(), HoldOutOwn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insmix < full*3 {
+		t.Errorf("insmix error %v not clearly worse than full %v", insmix, full)
+	}
+}
+
+func TestAnalyzePaths(t *testing.T) {
+	c := testCorpus(t)
+	res, err := LOOCV(c, SchemeFull, DefaultTreeParams(), HoldOutOwn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := AnalyzePaths(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPoints := 0
+	for _, r := range res {
+		nPoints += len(r.PerPoint)
+	}
+	if len(stats.PerPoint) != nPoints {
+		t.Fatalf("path stats cover %d points, want %d", len(stats.PerPoint), nPoints)
+	}
+	for _, k := range stats.KindNames {
+		p := stats.Presence[k]
+		if p < 0 || p > 100 {
+			t.Errorf("presence[%s] = %v", k, p)
+		}
+	}
+	// GPU time must dominate the decision paths (the paper's headline
+	// explainability finding).
+	if stats.Presence[features.KindGPUTime] < 90 {
+		t.Errorf("gpu_time presence %v%% — expected near-universal use",
+			stats.Presence[features.KindGPUTime])
+	}
+	top := stats.TopKinds()
+	if features.Kind(top[0]) != features.KindGPUTime && features.Kind(top[0]) != features.KindCPUTime {
+		t.Errorf("top path feature %q", top[0])
+	}
+	if _, err := AnalyzePaths(nil); err == nil {
+		t.Error("empty results accepted")
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if !strings.Contains(HoldOutOwn.String(), "own") {
+		t.Errorf("HoldOutOwn.String() = %q", HoldOutOwn.String())
+	}
+	if !strings.Contains(HoldOutContaining.String(), "containing") {
+		t.Errorf("HoldOutContaining.String() = %q", HoldOutContaining.String())
+	}
+	if !strings.Contains(Protocol(9).String(), "9") {
+		t.Errorf("invalid protocol String() = %q", Protocol(9).String())
+	}
+}
+
+func TestTrainEmptyCorpus(t *testing.T) {
+	if _, err := Train(nil, SchemeFull, DefaultTreeParams()); err == nil {
+		t.Error("nil corpus accepted")
+	}
+	if _, err := Train(&dataset.Corpus{}, SchemeFull, DefaultTreeParams()); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := LOOCV(&dataset.Corpus{}, SchemeFull, DefaultTreeParams(), HoldOutOwn); err == nil {
+		t.Error("empty corpus LOOCV accepted")
+	}
+}
+
+func TestFigure5Schemes(t *testing.T) {
+	schemes := Figure5Schemes()
+	if len(schemes) != 4 {
+		t.Fatalf("%d schemes", len(schemes))
+	}
+	wantNames := []string{"insmix", "insmix+cputime", "insmix+cputime+fairness", "full"}
+	for i, s := range schemes {
+		if s.Name != wantNames[i] {
+			t.Errorf("scheme %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+	}
+}

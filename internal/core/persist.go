@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"mapc/internal/ml"
+)
+
+// predictorJSON is the on-disk form of a trained Predictor: the fitted tree
+// plus everything needed to featurize fresh bags consistently (scheme,
+// column mapping, and the training corpus's time normalization constant).
+type predictorJSON struct {
+	Format      string            `json:"format"`
+	SchemeName  string            `json:"scheme_name"`
+	SchemeKinds []string          `json:"scheme_kinds"`
+	Columns     []int             `json:"columns"`
+	ColumnNames []string          `json:"column_names"`
+	AllNames    []string          `json:"all_feature_names"`
+	TimeDivisor float64           `json:"time_divisor"`
+	TrainedOn   int               `json:"trained_on_points"`
+	Tree        *ml.TreeRegressor `json:"tree"`
+}
+
+const predictorFormat = "mapc-predictor-v1"
+
+// Save writes the predictor to w as JSON.
+func (p *Predictor) Save(w io.Writer) error {
+	out := predictorJSON{
+		Format:      predictorFormat,
+		SchemeName:  p.scheme.Name,
+		SchemeKinds: p.scheme.Kinds,
+		Columns:     p.cols,
+		ColumnNames: p.colNames,
+		AllNames:    p.allNames,
+		TimeDivisor: p.timeDivisor,
+		TrainedOn:   p.trainedOnPts,
+		Tree:        p.tree,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SaveFile writes the predictor to the named file.
+func (p *Predictor) SaveFile(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return p.Save(f)
+}
+
+// Load reads a predictor previously written with Save.
+func Load(r io.Reader) (*Predictor, error) {
+	var in predictorJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding predictor: %w", err)
+	}
+	if in.Format != predictorFormat {
+		return nil, fmt.Errorf("core: unsupported predictor format %q", in.Format)
+	}
+	switch {
+	case in.Tree == nil:
+		return nil, errors.New("core: serialized predictor has no tree")
+	case in.TimeDivisor <= 0:
+		return nil, errors.New("core: serialized predictor has invalid time divisor")
+	case len(in.Columns) == 0 || len(in.Columns) != len(in.ColumnNames):
+		return nil, errors.New("core: serialized predictor has inconsistent columns")
+	case len(in.AllNames) == 0:
+		return nil, errors.New("core: serialized predictor has no feature names")
+	}
+	for _, c := range in.Columns {
+		if c < 0 || c >= len(in.AllNames) {
+			return nil, fmt.Errorf("core: serialized column index %d out of range", c)
+		}
+	}
+	return &Predictor{
+		scheme:       Scheme{Name: in.SchemeName, Kinds: in.SchemeKinds},
+		cols:         in.Columns,
+		colNames:     in.ColumnNames,
+		allNames:     in.AllNames,
+		tree:         in.Tree,
+		timeDivisor:  in.TimeDivisor,
+		trainedOnPts: in.TrainedOn,
+	}, nil
+}
+
+// LoadFile reads a predictor from the named file.
+func LoadFile(path string) (*Predictor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

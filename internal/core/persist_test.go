@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPredictorSaveLoadRoundTrip(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeFull, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Scheme().Name != p.Scheme().Name {
+		t.Errorf("scheme %q after load", loaded.Scheme().Name)
+	}
+	if loaded.TimeDivisor() != p.TimeDivisor() {
+		t.Errorf("divisor %v after load", loaded.TimeDivisor())
+	}
+	for i := range c.Points {
+		a, err := p.PredictPoint(&c.Points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PredictPoint(&c.Points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("point %d predictions diverge after round trip: %v vs %v", i, a, b)
+		}
+	}
+	// Decision-path introspection works on loaded models too.
+	path, err := loaded.PathVector(c.Points[0].X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Error("empty path from loaded model")
+	}
+}
+
+func TestPredictorSaveLoadFile(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeInsmixCPU, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := p.PredictVector(c.Points[3].X)
+	b, _ := loaded.PredictVector(c.Points[3].X)
+	if a != b {
+		t.Fatalf("file round trip diverges: %v vs %v", a, b)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file loaded")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{}`,
+		`{"format":"wrong"}`,
+		`{"format":"mapc-predictor-v1"}`,
+		`{"format":"mapc-predictor-v1","time_divisor":1,"columns":[0],"column_names":["a"],"all_feature_names":["a"]}`,
+		`{"format":"mapc-predictor-v1","time_divisor":1,"columns":[9],"column_names":["a"],"all_feature_names":["a"],
+		  "tree":{"format":"mapc-tree-v1","n_features":1,"nodes":[{"feature":-1,"value":1}]}}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("garbage case %d loaded", i)
+		}
+	}
+}

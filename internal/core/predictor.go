@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mapc/internal/dataset"
+	"mapc/internal/features"
+	"mapc/internal/ml"
+)
+
+// Predictor is the trained model: a CART regression tree over a feature
+// scheme, carrying the normalization constant of its training corpus so it
+// can featurize fresh bags consistently.
+type Predictor struct {
+	scheme       Scheme
+	cols         []int
+	colNames     []string
+	allNames     []string
+	tree         *ml.TreeRegressor
+	timeDivisor  float64
+	trainedOnPts int
+}
+
+// TreeParams exposes the decision-tree hyper-parameters (Section II-B3's
+// pre-specified depth etc.).
+type TreeParams struct {
+	MaxDepth        int
+	MinSamplesLeaf  int
+	MinSamplesSplit int
+}
+
+// DefaultTreeParams mirror the configuration used for every figure.
+func DefaultTreeParams() TreeParams {
+	return TreeParams{MaxDepth: 0, MinSamplesLeaf: 1, MinSamplesSplit: 2}
+}
+
+// Train fits a predictor on the corpus with the given scheme.
+func Train(c *dataset.Corpus, scheme Scheme, params TreeParams) (*Predictor, error) {
+	if c == nil || len(c.Points) == 0 {
+		return nil, errors.New("core: empty corpus")
+	}
+	d := c.Dataset()
+	return trainOn(d, c, scheme, params)
+}
+
+// trainOn fits on an explicit dataset view (used by LOOCV to train on
+// subsets).
+func trainOn(d *ml.Dataset, c *dataset.Corpus, scheme Scheme, params TreeParams) (*Predictor, error) {
+	cols, err := scheme.Columns(c.FeatureNames)
+	if err != nil {
+		return nil, err
+	}
+	colNames, err := scheme.ColumnNames(c.FeatureNames)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := (&ml.Dataset{
+		FeatureNames: c.FeatureNames,
+		X:            d.X, Y: d.Y, Groups: d.Groups,
+	}).SelectFeatures(colNames)
+	if err != nil {
+		return nil, err
+	}
+	tree := ml.NewTreeRegressor()
+	tree.MaxDepth = params.MaxDepth
+	tree.MinSamplesLeaf = params.MinSamplesLeaf
+	tree.MinSamplesSplit = params.MinSamplesSplit
+	if err := tree.Fit(sel); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		scheme:       scheme,
+		cols:         cols,
+		colNames:     colNames,
+		allNames:     c.FeatureNames,
+		tree:         tree,
+		timeDivisor:  c.CPUTimeDivisor,
+		trainedOnPts: sel.Len(),
+	}, nil
+}
+
+// Scheme returns the feature scheme the predictor was trained with.
+func (p *Predictor) Scheme() Scheme { return p.scheme }
+
+// FeatureNames returns the names of the model's input columns.
+func (p *Predictor) FeatureNames() []string {
+	return append([]string(nil), p.colNames...)
+}
+
+// Tree exposes the underlying fitted tree for introspection.
+func (p *Predictor) Tree() *ml.TreeRegressor { return p.tree }
+
+// TimeDivisor returns the Section V-C normalization constant.
+func (p *Predictor) TimeDivisor() float64 { return p.timeDivisor }
+
+// PredictVector predicts from a full (normalized) corpus-width vector.
+func (p *Predictor) PredictVector(x []float64) (float64, error) {
+	sel, err := p.selectCols(x)
+	if err != nil {
+		return 0, err
+	}
+	return p.tree.Predict(sel)
+}
+
+// PredictRaw predicts from a raw (un-normalized) full-width vector, e.g.
+// one produced by dataset.Generator.FeaturesFor. The vector is copied.
+func (p *Predictor) PredictRaw(x []float64) (float64, error) {
+	cp := append([]float64(nil), x...)
+	if err := features.ScaleTimes(p.allNames, cp, p.timeDivisor); err != nil {
+		return 0, err
+	}
+	return p.PredictVector(cp)
+}
+
+// PathVector returns the decision path for a full-width normalized vector.
+func (p *Predictor) PathVector(x []float64) ([]ml.DecisionStep, error) {
+	sel, err := p.selectCols(x)
+	if err != nil {
+		return nil, err
+	}
+	return p.tree.DecisionPath(sel)
+}
+
+func (p *Predictor) selectCols(x []float64) ([]float64, error) {
+	if len(x) != len(p.allNames) {
+		return nil, fmt.Errorf("core: vector width %d, corpus width %d", len(x), len(p.allNames))
+	}
+	sel := make([]float64, len(p.cols))
+	for i, c := range p.cols {
+		sel[i] = x[c]
+	}
+	return sel, nil
+}
+
+// PredictPoint predicts the GPU bag time for an existing corpus point.
+func (p *Predictor) PredictPoint(pt *dataset.Point) (float64, error) {
+	return p.PredictVector(pt.X)
+}

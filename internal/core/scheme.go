@@ -1,0 +1,100 @@
+// Package core is the paper's primary contribution: a decision-tree-based
+// predictor for the execution time of a multi-application bag of tasks on a
+// GPU (Section V). It ties the substrates together — instrumented vision
+// workloads, CPU/GPU simulators, MICA mixes, fairness — into a train/predict
+// pipeline, implements the feature-scheme ablations of Figures 5-9, the
+// grouped LOOCV protocol of Figure 4, and the decision-path analytics of
+// Figures 10-12.
+package core
+
+import (
+	"fmt"
+
+	"mapc/internal/features"
+	"mapc/internal/isa"
+)
+
+// Scheme is a named set of feature kinds — one bar of Figures 5-9. Columns
+// of every application replica matching a kind are included.
+type Scheme struct {
+	// Name labels the scheme in reports (e.g. "insmix+cputime").
+	Name string
+	// Kinds lists the feature kinds included (see features.KindNames).
+	Kinds []string
+}
+
+// insmixKinds are the eight instruction-mix feature kinds.
+func insmixKinds() []string {
+	out := make([]string, 0, isa.NumCategories)
+	for c := isa.Category(0); c < isa.NumCategories; c++ {
+		out = append(out, c.String())
+	}
+	return out
+}
+
+// The schemes of Figure 5 (scheme names follow the paper's bar labels).
+var (
+	// SchemeInsmix uses only the instruction mix — the Baldini et al.
+	// feature set, the paper's primary point of comparison.
+	SchemeInsmix = Scheme{Name: "insmix", Kinds: insmixKinds()}
+	// SchemeInsmixCPU adds the CPU execution time.
+	SchemeInsmixCPU = Scheme{Name: "insmix+cputime",
+		Kinds: append(insmixKinds(), features.KindCPUTime)}
+	// SchemeInsmixCPUFair adds the fairness metric.
+	SchemeInsmixCPUFair = Scheme{Name: "insmix+cputime+fairness",
+		Kinds: append(insmixKinds(), features.KindCPUTime, features.KindFairness)}
+	// SchemeFull is the paper's full Table-IV feature set.
+	SchemeFull = Scheme{Name: "full", Kinds: features.KindNames()}
+)
+
+// Figure5Schemes returns the four bars of Figure 5 in order.
+func Figure5Schemes() []Scheme {
+	return []Scheme{SchemeInsmix, SchemeInsmixCPU, SchemeInsmixCPUFair, SchemeFull}
+}
+
+
+// NewScheme builds a scheme from kind names, validating each kind.
+func NewScheme(name string, kinds ...string) (Scheme, error) {
+	valid := map[string]bool{}
+	for _, k := range features.KindNames() {
+		valid[k] = true
+	}
+	for _, k := range kinds {
+		if !valid[k] {
+			return Scheme{}, fmt.Errorf("core: unknown feature kind %q", k)
+		}
+	}
+	return Scheme{Name: name, Kinds: kinds}, nil
+}
+
+// Columns resolves the scheme to dataset column indices given the corpus's
+// feature names.
+func (s Scheme) Columns(featureNames []string) ([]int, error) {
+	want := map[string]bool{}
+	for _, k := range s.Kinds {
+		want[k] = true
+	}
+	var cols []int
+	for j, n := range featureNames {
+		if want[features.Kind(n)] {
+			cols = append(cols, j)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("core: scheme %q matches no columns", s.Name)
+	}
+	return cols, nil
+}
+
+// ColumnNames returns the feature names the scheme selects, in column order.
+func (s Scheme) ColumnNames(featureNames []string) ([]string, error) {
+	cols, err := s.Columns(featureNames)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = featureNames[c]
+	}
+	return out, nil
+}

@@ -1,0 +1,547 @@
+// Package cpusim models the paper's multicore CPU server (Table III: 2x
+// Intel Xeon Gold 5118, 24 physical cores, 128 GB): out-of-order cores with
+// per-category issue ports, private L1/L2 caches, a shared last-level cache,
+// and finite DRAM bandwidth. It executes trace.Workloads — alone or
+// co-scheduled — and reports execution time and IPC, from which the perfmon
+// package derives the fairness feature.
+//
+// The model is a port-pressure + memory-hierarchy simulator: per phase, the
+// compute bound is the max of total-issue and per-port cycles, the memory
+// bound comes from simulating a sampled synthetic address stream through
+// the cache hierarchy (the LLC genuinely shared between co-runners), and
+// DRAM bandwidth is apportioned between applications by demand.
+package cpusim
+
+import (
+	"errors"
+	"fmt"
+
+	"mapc/internal/isa"
+	"mapc/internal/memsim"
+	"mapc/internal/trace"
+)
+
+// Config describes the simulated multicore machine. DefaultConfig mirrors
+// the paper's Table III server.
+type Config struct {
+	Cores          int     // physical cores
+	ThreadsPerCore int     // SMT ways
+	SMTYield       float64 // extra throughput an SMT sibling adds (0..1)
+	FreqGHz        float64 // core clock
+	IssueWidth     float64 // total micro-ops issued per cycle per core
+
+	// Throughput holds per-category execution-port throughput in
+	// operations per cycle per core.
+	Throughput [isa.NumCategories]float64
+
+	L1Bytes int64 // private L1D capacity
+	L1Ways  int
+	L2Bytes int64 // private L2 capacity
+	L2Ways  int
+	LLCytes int64 // shared LLC capacity
+	LLCWays int
+
+	L2LatencyCycles  float64 // L1 miss, L2 hit
+	LLCLatencyCycles float64 // L2 miss, LLC hit
+	DRAMLatency      float64 // LLC miss, in cycles
+	DRAMBandwidth    float64 // bytes/second shared by all cores
+	MLP              float64 // overlapped outstanding misses per thread
+
+	ForkJoinCycles float64 // per-phase parallel region overhead
+
+	// PrefetchDegree attaches a stride prefetcher in front of each app's
+	// private L2, issuing this many line prefetches per confident miss.
+	// 0 (the default) disables it: the calibrated port/MLP parameters
+	// already fold the average benefit of hardware prefetching in; the
+	// explicit model is an opt-in refinement studied by the ablations.
+	PrefetchDegree int
+}
+
+// DefaultConfig returns the Table-III-equivalent machine: 24 cores with SMT,
+// 2.3 GHz, 32 KB/1 MB private caches, a 32 MB shared LLC and ~100 GB/s of
+// DRAM bandwidth (per-socket share of the 2-socket machine).
+func DefaultConfig() Config {
+	var tput [isa.NumCategories]float64
+	tput[isa.SSE] = 2     // two vector ports
+	tput[isa.ALU] = 3     // three scalar ALUs
+	tput[isa.MEM] = 2     // two AGU/load-store ports
+	tput[isa.FP] = 2      // two FP ports
+	tput[isa.Stack] = 2   // handled by the store/ALU ports
+	tput[isa.String] = 1  // microcoded
+	tput[isa.Shift] = 2   // shift/mul ports
+	tput[isa.Control] = 2 // branch units
+	return Config{
+		Cores:            24,
+		ThreadsPerCore:   2,
+		SMTYield:         0.35,
+		FreqGHz:          2.3,
+		IssueWidth:       4,
+		Throughput:       tput,
+		L1Bytes:          32 << 10,
+		L1Ways:           8,
+		L2Bytes:          1 << 20,
+		L2Ways:           16,
+		LLCytes:          16 << 20,
+		LLCWays:          11,
+		L2LatencyCycles:  14,
+		LLCLatencyCycles: 44,
+		DRAMLatency:      220,
+		DRAMBandwidth:    25e9,
+		MLP:              6,
+		ForkJoinCycles:   20000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Cores <= 0 || c.ThreadsPerCore <= 0:
+		return errors.New("cpusim: cores and SMT ways must be positive")
+	case c.FreqGHz <= 0:
+		return errors.New("cpusim: frequency must be positive")
+	case c.IssueWidth <= 0:
+		return errors.New("cpusim: issue width must be positive")
+	case c.L1Bytes <= 0 || c.L2Bytes <= 0 || c.LLCytes <= 0:
+		return errors.New("cpusim: cache capacities must be positive")
+	case c.DRAMBandwidth <= 0:
+		return errors.New("cpusim: DRAM bandwidth must be positive")
+	case c.MLP <= 0:
+		return errors.New("cpusim: MLP must be positive")
+	}
+	for cat, t := range c.Throughput {
+		if t <= 0 {
+			return fmt.Errorf("cpusim: throughput for %v must be positive", isa.Category(cat))
+		}
+	}
+	return nil
+}
+
+// App is one application instance scheduled onto the machine.
+type App struct {
+	Workload *trace.Workload
+	// Threads is the OpenMP-style thread count; the paper uses each
+	// benchmark's best configuration.
+	Threads int
+}
+
+// Result reports one application's simulated execution.
+type Result struct {
+	// TimeSec is the wall-clock execution time.
+	TimeSec float64
+	// Cycles is the wall-clock time in core cycles.
+	Cycles float64
+	// Instructions is the total dynamic instruction count.
+	Instructions uint64
+	// IPC is aggregate instructions per wall-clock cycle (all threads).
+	IPC float64
+	// LLCMissRate is the fraction of this app's LLC accesses that missed.
+	LLCMissRate float64
+	// DRAMBytes is the total traffic this app drove to memory.
+	DRAMBytes float64
+}
+
+// Performance returns 1/time, the paper's definition of performance.
+func (r Result) Performance() float64 {
+	if r.TimeSec <= 0 {
+		return 0
+	}
+	return 1 / r.TimeSec
+}
+
+// phaseMem captures one phase's simulated memory behaviour.
+type phaseMem struct {
+	l1Miss   float64 // per reference
+	l2Miss   float64 // per reference (of refs, not of L1 misses)
+	llcMiss  float64 // per reference
+	llcMissN uint64
+}
+
+// Run simulates the co-scheduled execution of apps and returns one Result
+// per app. Like a real co-run, the execution is phased: all apps contend
+// while co-resident, and each app's exit releases its cores, cache share
+// and bandwidth to the survivors. Reported times are completion times and
+// IPC is lifetime IPC — what Linux perf attached to each process measures.
+// A single-element slice simulates an isolated run.
+func Run(cfg Config, apps []App) ([]Result, error) {
+	if err := validateApps(cfg, apps); err != nil {
+		return nil, err
+	}
+	steady, err := runSteady(cfg, apps)
+	if err != nil {
+		return nil, err
+	}
+	if len(apps) == 1 {
+		return steady, nil
+	}
+
+	n := len(apps)
+	remaining := make([]float64, n)
+	finish := make([]float64, n)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+		remaining[i] = 1
+	}
+	cur := steady
+	var clock float64
+	for len(active) > 0 {
+		best := -1
+		bestDT := 0.0
+		for k := range active {
+			dt := remaining[active[k]] * cur[k].TimeSec
+			if best < 0 || dt < bestDT {
+				best, bestDT = k, dt
+			}
+		}
+		for k, ai := range active {
+			if cur[k].TimeSec > 0 {
+				remaining[ai] -= bestDT / cur[k].TimeSec
+			} else {
+				remaining[ai] = 0
+			}
+		}
+		clock += bestDT
+		done := active[best]
+		finish[done] = clock
+		remaining[done] = 0
+		active = append(active[:best], active[best+1:]...)
+		if len(active) == 0 {
+			break
+		}
+		sub := make([]App, len(active))
+		for k, ai := range active {
+			sub[k] = apps[ai]
+		}
+		cur, err = runSteady(cfg, sub)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]Result, n)
+	for i := range apps {
+		out[i] = steady[i]
+		out[i].TimeSec = finish[i]
+		out[i].Cycles = finish[i] * cfg.FreqGHz * 1e9
+		if out[i].Cycles > 0 {
+			out[i].IPC = float64(out[i].Instructions) / out[i].Cycles
+		}
+	}
+	return out, nil
+}
+
+func validateApps(cfg Config, apps []App) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(apps) == 0 {
+		return errors.New("cpusim: no applications to run")
+	}
+	for i := range apps {
+		if apps[i].Workload == nil {
+			return fmt.Errorf("cpusim: app %d has nil workload", i)
+		}
+		if err := apps[i].Workload.Validate(); err != nil {
+			return fmt.Errorf("cpusim: app %d: %w", i, err)
+		}
+		if apps[i].Threads <= 0 {
+			return fmt.Errorf("cpusim: app %d has non-positive thread count", i)
+		}
+	}
+	return nil
+}
+
+// runSteady computes per-app times assuming all apps stay co-resident.
+func runSteady(cfg Config, apps []App) ([]Result, error) {
+	mem, llcStats, err := simulateMemory(cfg, apps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Core allocation. The machine provides Cores full-speed thread
+	// contexts plus diminishing-return SMT siblings: its total capacity
+	// in core-equivalents is Cores*(1 + SMTYield*(ThreadsPerCore-1)).
+	// While demand fits within physical cores every thread runs at full
+	// speed; beyond that, all runnable threads share the capacity
+	// proportionally — the OS time-slices them fairly.
+	capacity := float64(cfg.Cores) * (1 + cfg.SMTYield*float64(cfg.ThreadsPerCore-1))
+	demanded := 0
+	for i := range apps {
+		demanded += apps[i].Threads
+	}
+	coreScale := 1.0
+	if d := float64(demanded); d > float64(cfg.Cores) {
+		if scale := capacity / d; scale < 1 {
+			coreScale = scale
+		}
+	}
+
+	// Pass 1: compute-and-latency-bound times, ignoring bandwidth.
+	results := make([]Result, len(apps))
+	traffic := make([]float64, len(apps))
+	for i := range apps {
+		cycles, bytes := appCycles(cfg, apps[i], mem[i], coreScale, 0)
+		results[i].Cycles = cycles
+		traffic[i] = bytes
+	}
+
+	// Pass 2: apportion DRAM bandwidth by demand and re-time with the
+	// bandwidth bound in place.
+	share := bandwidthShares(cfg, results, traffic)
+	for i := range apps {
+		cycles, bytes := appCycles(cfg, apps[i], mem[i], coreScale, share[i])
+		w := apps[i].Workload
+		results[i] = Result{
+			TimeSec:      cycles / (cfg.FreqGHz * 1e9),
+			Cycles:       cycles,
+			Instructions: w.Instructions(),
+			DRAMBytes:    bytes,
+			LLCMissRate:  llcStats[i].MissRate(),
+		}
+		if cycles > 0 {
+			results[i].IPC = float64(w.Instructions()) / cycles
+		}
+	}
+	return results, nil
+}
+
+// bandwidthShares returns per-app available DRAM bandwidth (bytes/sec) under
+// max-min fair arbitration of the memory controller.
+func bandwidthShares(cfg Config, prelim []Result, traffic []float64) []float64 {
+	demand := make([]float64, len(prelim))
+	for i := range prelim {
+		t := prelim[i].Cycles / (cfg.FreqGHz * 1e9)
+		if t > 0 {
+			demand[i] = traffic[i] / t
+		}
+	}
+	return memsim.Waterfill(cfg.DRAMBandwidth, demand)
+}
+
+// appCycles computes one app's wall-clock cycles and DRAM traffic given its
+// per-phase memory behaviour. bwShare, when positive, bounds phase
+// throughput by the app's bandwidth allocation in bytes/second.
+func appCycles(cfg Config, app App, mem []phaseMem, coreScale float64, bwShare float64) (float64, float64) {
+	return appCyclesTraced(cfg, app, mem, coreScale, bwShare, nil)
+}
+
+func appCyclesTraced(cfg Config, app App, mem []phaseMem, coreScale float64, bwShare float64, timings *[]PhaseTiming) (float64, float64) {
+	var cycles, bytes float64
+	for pi := range app.Workload.Phases {
+		p := &app.Workload.Phases[pi]
+		m := mem[pi]
+
+		// Compute bound: port-pressure roofline per thread.
+		var portMax, totalOps float64
+		for cat := isa.Category(0); cat < isa.NumCategories; cat++ {
+			n := float64(p.Counts[cat])
+			totalOps += n
+			if c := n / cfg.Throughput[cat]; c > portMax {
+				portMax = c
+			}
+		}
+		issue := totalOps / cfg.IssueWidth
+		if portMax > issue {
+			issue = portMax
+		}
+
+		// Memory stalls from the simulated hierarchy.
+		refs := float64(p.MemRefs())
+		stall := refs * (m.l1Miss*cfg.L2LatencyCycles +
+			m.l2Miss*cfg.LLCLatencyCycles +
+			m.llcMiss*cfg.DRAMLatency) / cfg.MLP
+
+		// Thread scaling: parallelism-capped, core-share-scaled; a
+		// modest sublinear efficiency models synchronization.
+		effT := float64(app.Threads) * coreScale
+		if par := float64(p.Parallelism); effT > par {
+			effT = par
+		}
+		if effT < 1 {
+			effT = 1
+		}
+		eff := 1 / (1 + 0.04*(effT-1)) // Amdahl-style coordination tax
+		phaseCycles := (issue+stall)/(effT*eff) + cfg.ForkJoinCycles*float64(p.LaunchCount())
+
+		// Bandwidth bound.
+		phaseBytes := refs * m.llcMiss * memsim.LineSize
+		bytes += phaseBytes
+		if bwShare > 0 {
+			bwCycles := phaseBytes / bwShare * cfg.FreqGHz * 1e9
+			if bwCycles > phaseCycles {
+				phaseCycles = bwCycles
+			}
+		}
+		cycles += phaseCycles
+		if timings != nil {
+			*timings = append(*timings, PhaseTiming{
+				Name:             p.Name,
+				ComputeCycles:    issue,
+				StallCycles:      stall,
+				TotalCycles:      phaseCycles,
+				EffectiveThreads: effT,
+				L1MissRate:       m.l1Miss,
+				L2MissRate:       m.l2Miss,
+				LLCMissRate:      m.llcMiss,
+			})
+		}
+	}
+	return cycles, bytes
+}
+
+// PhaseTiming reports one phase's simulated timing decomposition.
+type PhaseTiming struct {
+	Name             string
+	ComputeCycles    float64 // single-thread issue/port bound
+	StallCycles      float64 // single-thread memory-latency bound
+	TotalCycles      float64 // after thread scaling, fork-join and bandwidth
+	EffectiveThreads float64
+	L1MissRate       float64 // per reference
+	L2MissRate       float64 // per reference
+	LLCMissRate      float64 // per reference
+}
+
+// PhaseBreakdown retraces one app of a Run configuration and returns its
+// per-phase timing decomposition — the CPU-side counterpart of
+// gpusim.PhaseBreakdown. apps must match the Run call being explained.
+func PhaseBreakdown(cfg Config, apps []App, app int) ([]PhaseTiming, error) {
+	if err := validateApps(cfg, apps); err != nil {
+		return nil, err
+	}
+	if app < 0 || app >= len(apps) {
+		return nil, fmt.Errorf("cpusim: app %d out of range", app)
+	}
+	mem, _, err := simulateMemory(cfg, apps)
+	if err != nil {
+		return nil, err
+	}
+	capacity := float64(cfg.Cores) * (1 + cfg.SMTYield*float64(cfg.ThreadsPerCore-1))
+	demanded := 0
+	for i := range apps {
+		demanded += apps[i].Threads
+	}
+	coreScale := 1.0
+	if d := float64(demanded); d > float64(cfg.Cores) {
+		if scale := capacity / d; scale < 1 {
+			coreScale = scale
+		}
+	}
+	var out []PhaseTiming
+	appCyclesTraced(cfg, apps[app], mem[app], coreScale, 0, &out)
+	return out, nil
+}
+
+// simulateMemory drives sampled synthetic streams for every phase of every
+// app through private L1/L2 hierarchies and one shared LLC, returning the
+// per-phase miss behaviour and per-app LLC statistics.
+func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, error) {
+	llc, err := memsim.NewCache("llc", cfg.LLCytes, cfg.LLCWays, len(apps))
+	if err != nil {
+		return nil, nil, err
+	}
+
+	mem := make([][]phaseMem, len(apps))
+	// llcBound collects, per app, the interleavable L2-miss address lists
+	// of all phases (tagged with phase index).
+	type boundRef struct {
+		phase int
+		addr  uint64
+	}
+	llcBound := make([][]boundRef, len(apps))
+
+	for ai := range apps {
+		w := apps[ai].Workload
+		mem[ai] = make([]phaseMem, len(w.Phases))
+		l1, err := memsim.NewCache("l1", cfg.L1Bytes, cfg.L1Ways, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		l2, err := memsim.NewCache("l2", cfg.L2Bytes, cfg.L2Ways, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := uint64(ai+1) << 40 // disjoint address spaces
+		for pi := range w.Phases {
+			p := &w.Phases[pi]
+			refs := p.MemRefs()
+			if refs == 0 {
+				continue
+			}
+			seed := memsim.StreamSeed("cpu", w.Benchmark, p.Name, fmt.Sprint(w.BatchSize), fmt.Sprint(ai))
+			st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			pf := memsim.NewStridePrefetcher(cfg.PrefetchDegree)
+			n := memsim.SampleRefs(refs)
+			var l1m, l2m int
+			for k := 0; k < n; k++ {
+				a := st.Next()
+				if l1.Access(0, a) {
+					continue
+				}
+				l1m++
+				if l2.Access(0, a) {
+					continue
+				}
+				l2m++
+				llcBound[ai] = append(llcBound[ai], boundRef{phase: pi, addr: a})
+				// Train the stride prefetcher on the L2 demand-miss
+				// stream; fills land in L2 ahead of the access.
+				for _, pa := range pf.OnMiss(a) {
+					l2.Install(0, pa)
+				}
+			}
+			mem[ai][pi].l1Miss = float64(l1m) / float64(n)
+			mem[ai][pi].l2Miss = float64(l2m) / float64(n)
+		}
+	}
+
+	// Shared-LLC phase: interleave every app's LLC-bound stream round-robin
+	// in proportion to stream length, the steady-state mix a shared cache
+	// observes from concurrent clients.
+	idx := make([]int, len(apps))
+	remaining := 0
+	maxLen := 0
+	for ai := range llcBound {
+		remaining += len(llcBound[ai])
+		if len(llcBound[ai]) > maxLen {
+			maxLen = len(llcBound[ai])
+		}
+	}
+	for step := 0; step < maxLen && remaining > 0; step++ {
+		for ai := range llcBound {
+			// Proportional pacing: app ai issues len/maxLen refs per step.
+			quota := (len(llcBound[ai])*(step+1))/maxLen - (len(llcBound[ai])*step)/maxLen
+			for q := 0; q < quota && idx[ai] < len(llcBound[ai]); q++ {
+				ref := llcBound[ai][idx[ai]]
+				idx[ai]++
+				remaining--
+				if !llc.Access(ai, ref.addr) {
+					mem[ai][ref.phase].llcMissN++
+				}
+			}
+		}
+	}
+
+	// Convert LLC miss counts to per-reference ratios.
+	for ai := range apps {
+		w := apps[ai].Workload
+		for pi := range w.Phases {
+			p := &w.Phases[pi]
+			pm := &mem[ai][pi]
+			refs := p.MemRefs()
+			if refs == 0 {
+				continue
+			}
+			n := float64(memsim.SampleRefs(refs))
+			pm.llcMiss = float64(pm.llcMissN) / n
+		}
+	}
+
+	stats := make([]memsim.CacheStats, len(apps))
+	for ai := range apps {
+		stats[ai] = llc.Stats(ai)
+	}
+	return mem, stats, nil
+}

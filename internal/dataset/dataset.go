@@ -1,0 +1,417 @@
+// Package dataset creates the training corpus of Section V-B: it runs
+// every Table-II benchmark at five batch sizes through the instrumented
+// vision suite, measures isolated CPU/GPU executions and co-scheduled
+// 2-application bags on the simulators, and assembles the 91-run corpus of
+// homogeneous and heterogeneous data points with Table-IV feature vectors.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"mapc/internal/cpusim"
+	"mapc/internal/features"
+	"mapc/internal/gpusim"
+	"mapc/internal/mica"
+	"mapc/internal/ml"
+	"mapc/internal/perfmon"
+	"mapc/internal/trace"
+	"mapc/internal/vision"
+)
+
+// DefaultBatchSizes are the five input sizes of Section V-B: the standard
+// 20-image batch and its doublings.
+var DefaultBatchSizes = []int{20, 40, 80, 160, 320}
+
+// DefaultThreads is the per-application CPU thread count (the paper picks
+// each benchmark's best configuration; on the Table-III server the OpenCV
+// kernels saturate around 16 threads).
+const DefaultThreads = 16
+
+// Member identifies one application instance inside a bag.
+type Member struct {
+	Benchmark string
+	Batch     int
+}
+
+func (m Member) String() string { return fmt.Sprintf("%s/%d", m.Benchmark, m.Batch) }
+
+// Point is one data point: a 2-application bag with its feature vector and
+// measured GPU bag execution time.
+type Point struct {
+	// Members lists the bag's applications.
+	Members [2]Member
+	// Homogeneous records whether both members are identical.
+	Homogeneous bool
+	// X is the Table-IV feature vector (see features.Names(2)).
+	X []float64
+	// Y is the target: the bag's GPU execution time (makespan) under MPS,
+	// in seconds.
+	Y float64
+	// Fairness is the bag's CPU fairness metric (also inside X).
+	Fairness float64
+	// CPUTimes and GPUTimes are the members' isolated execution times.
+	CPUTimes [2]float64
+	GPUTimes [2]float64
+}
+
+// Corpus is the complete generated dataset.
+type Corpus struct {
+	Points       []Point
+	FeatureNames []string
+	// CPUTimeDivisor is the Section V-C normalization constant applied to
+	// the time columns.
+	CPUTimeDivisor float64
+}
+
+// Config controls corpus generation.
+type Config struct {
+	CPU        cpusim.Config
+	GPU        gpusim.Config
+	BatchSizes []int
+	Threads    int
+	// Seed drives image synthesis; fixed by default for reproducibility.
+	Seed uint64
+	// HeteroBatches lists extra mixed-batch heterogeneous combinations;
+	// see DefaultConfig for the shipped set.
+	MixedPairs int
+	// CanonicalOrder, when true, sorts bag members heavier-first (by
+	// isolated CPU time) before building the replicated feature vector.
+	// The paper replicates in arbitrary order; canonical ordering is an
+	// extension studied in the ablation benches.
+	CanonicalOrder bool
+}
+
+// DefaultConfig reproduces the paper's 91-run corpus: 45 homogeneous points
+// (9 benchmarks x 5 batches), 36 heterogeneous same-batch pairs and 10
+// heterogeneous mixed-batch pairs.
+func DefaultConfig() Config {
+	return Config{
+		CPU:            cpusim.DefaultConfig(),
+		GPU:            gpusim.DefaultConfig(),
+		BatchSizes:     DefaultBatchSizes,
+		Threads:        DefaultThreads,
+		Seed:           42,
+		MixedPairs:     10,
+		CanonicalOrder: true,
+	}
+}
+
+// measurement caches one (benchmark, batch) instrumented run and its
+// isolated simulator results.
+type measurement struct {
+	workload *trace.Workload
+	mix      mica.Mix
+	cpu      cpusim.Result
+	gpu      gpusim.Result
+}
+
+// Generator builds corpora; it caches instrumented runs across points.
+type Generator struct {
+	cfg   Config
+	cache map[Member]*measurement
+}
+
+// NewGenerator returns a generator for the given config.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.CPU.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.GPU.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.BatchSizes) == 0 {
+		return nil, fmt.Errorf("dataset: no batch sizes")
+	}
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive thread count")
+	}
+	return &Generator{cfg: cfg, cache: map[Member]*measurement{}}, nil
+}
+
+// measure returns the cached isolated measurement for member m.
+func (g *Generator) measure(m Member) (*measurement, error) {
+	if got, ok := g.cache[m]; ok {
+		return got, nil
+	}
+	b, err := vision.ByName(m.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	res, err := vision.Run(b, m.Batch, g.cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mix, err := mica.Analyze(res.Workload)
+	if err != nil {
+		return nil, err
+	}
+	cpuRes, err := cpusim.Run(g.cfg.CPU, []cpusim.App{{Workload: res.Workload, Threads: g.cfg.Threads}})
+	if err != nil {
+		return nil, err
+	}
+	gpuRes, err := gpusim.Run(g.cfg.GPU, []*trace.Workload{res.Workload})
+	if err != nil {
+		return nil, err
+	}
+	mm := &measurement{workload: res.Workload, mix: mix, cpu: cpuRes[0], gpu: gpuRes[0]}
+	g.cache[m] = mm
+	return mm, nil
+}
+
+// Workload returns the cached instrumented workload for member m, running
+// the benchmark if needed. The returned workload is shared with the cache;
+// callers that mutate it must Clone first.
+func (g *Generator) Workload(m Member) (*trace.Workload, error) {
+	mm, err := g.measure(m)
+	if err != nil {
+		return nil, err
+	}
+	return mm.workload, nil
+}
+
+// IsolatedTimes returns member m's cached isolated CPU and GPU execution
+// times in seconds.
+func (g *Generator) IsolatedTimes(m Member) (cpuSec, gpuSec float64, err error) {
+	mm, err := g.measure(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mm.cpu.TimeSec, mm.gpu.TimeSec, nil
+}
+
+// FeaturesFor measures everything a prediction needs for the bag (a, b) —
+// isolated CPU/GPU runs and the co-scheduled CPU run for fairness — without
+// executing the bag on the GPU. This is the inference-time entry point: the
+// returned vector is raw (un-normalized); apply features.ScaleTimes with
+// the training corpus's divisor before passing it to a trained model.
+func (g *Generator) FeaturesFor(a, b Member) (x []float64, fairness float64, err error) {
+	ma, err := g.measure(a)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: %v: %w", a, err)
+	}
+	mb, err := g.measure(b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: %v: %w", b, err)
+	}
+	if g.cfg.CanonicalOrder && mb.cpu.TimeSec > ma.cpu.TimeSec {
+		a, b = b, a
+		ma, mb = mb, ma
+	}
+	cpuShared, err := cpusim.Run(g.cfg.CPU, []cpusim.App{
+		{Workload: ma.workload.Clone(), Threads: g.cfg.Threads},
+		{Workload: mb.workload.Clone(), Threads: g.cfg.Threads},
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
+	}
+	fairness, err = perfmon.Fairness([]perfmon.AppPerf{
+		{IPCAlone: ma.cpu.IPC, IPCShared: cpuShared[0].IPC},
+		{IPCAlone: mb.cpu.IPC, IPCShared: cpuShared[1].IPC},
+	})
+	if err != nil {
+		return nil, 0, fmt.Errorf("dataset: fairness %v+%v: %w", a, b, err)
+	}
+	if fairness > 1 {
+		fairness = 1
+	}
+	x, err = features.BagVector([]features.App{
+		{CPUTimeSec: ma.cpu.TimeSec, GPUTimeSec: ma.gpu.TimeSec, Mix: ma.mix},
+		{CPUTimeSec: mb.cpu.TimeSec, GPUTimeSec: mb.gpu.TimeSec, Mix: mb.mix},
+	}, fairness)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, fairness, nil
+}
+
+// MeasurePoint produces the data point for the bag (a, b): co-scheduled CPU
+// run for fairness, co-scheduled GPU run for the target. With
+// Config.CanonicalOrder, members are sorted heavier-first (by isolated CPU
+// time) so the replicated per-app feature blocks are comparable across data
+// points.
+func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
+	ma, err := g.measure(a)
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: %v: %w", a, err)
+	}
+	mb, err := g.measure(b)
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: %v: %w", b, err)
+	}
+	if g.cfg.CanonicalOrder && mb.cpu.TimeSec > ma.cpu.TimeSec {
+		a, b = b, a
+		ma, mb = mb, ma
+	}
+
+	// Shared CPU run → fairness (Equation 2). Clones keep the cached
+	// workloads immutable.
+	cpuShared, err := cpusim.Run(g.cfg.CPU, []cpusim.App{
+		{Workload: ma.workload.Clone(), Threads: g.cfg.Threads},
+		{Workload: mb.workload.Clone(), Threads: g.cfg.Threads},
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
+	}
+	fairness, err := perfmon.Fairness([]perfmon.AppPerf{
+		{IPCAlone: ma.cpu.IPC, IPCShared: cpuShared[0].IPC},
+		{IPCAlone: mb.cpu.IPC, IPCShared: cpuShared[1].IPC},
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: fairness %v+%v: %w", a, b, err)
+	}
+	if fairness > 1 {
+		// Small simulation noise can push a slowdown ratio above 1;
+		// fairness is a ratio of min to max and stays in (0,1].
+		fairness = 1
+	}
+
+	// Shared GPU run → the target bag time.
+	gpuShared, err := gpusim.Run(g.cfg.GPU, []*trace.Workload{
+		ma.workload.Clone(), mb.workload.Clone(),
+	})
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: shared GPU run %v+%v: %w", a, b, err)
+	}
+
+	x, err := features.BagVector([]features.App{
+		{CPUTimeSec: ma.cpu.TimeSec, GPUTimeSec: ma.gpu.TimeSec, Mix: ma.mix},
+		{CPUTimeSec: mb.cpu.TimeSec, GPUTimeSec: mb.gpu.TimeSec, Mix: mb.mix},
+	}, fairness)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Members:     [2]Member{a, b},
+		Homogeneous: a == b,
+		X:           x,
+		Y:           gpusim.BagTime(gpuShared),
+		Fairness:    fairness,
+		CPUTimes:    [2]float64{ma.cpu.TimeSec, mb.cpu.TimeSec},
+		GPUTimes:    [2]float64{ma.gpu.TimeSec, mb.gpu.TimeSec},
+	}, nil
+}
+
+// Generate builds the full corpus: homogeneous points for every
+// (benchmark, batch), heterogeneous same-batch pairs at the standard batch,
+// and MixedPairs extra mixed-batch pairs.
+func (g *Generator) Generate() (*Corpus, error) {
+	names := vision.Names()
+	var points []Point
+
+	// Homogeneous: 9 benchmarks x len(BatchSizes).
+	for _, n := range names {
+		for _, bs := range g.cfg.BatchSizes {
+			m := Member{Benchmark: n, Batch: bs}
+			p, err := g.MeasurePoint(m, m)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+
+	// Heterogeneous, equal-batch: all C(9,2)=36 pairs, with the batch
+	// size cycling through the sweep so the pairs cover the same input
+	// range as the homogeneous points ("different combinations of batch
+	// sizes", Section V-B).
+	pairNo := 0
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			bs := g.cfg.BatchSizes[pairNo%len(g.cfg.BatchSizes)]
+			pairNo++
+			p, err := g.MeasurePoint(
+				Member{Benchmark: names[i], Batch: bs},
+				Member{Benchmark: names[j], Batch: bs},
+			)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+
+	// Heterogeneous, mixed batches: walk pair and batch combinations in a
+	// fixed pattern for the requested count.
+	if len(g.cfg.BatchSizes) > 2 {
+		added := 0
+		for k := 0; added < g.cfg.MixedPairs; k++ {
+			i := k % len(names)
+			j := (k*3 + 1) % len(names)
+			if i == j {
+				continue
+			}
+			ba := g.cfg.BatchSizes[1+(k%(len(g.cfg.BatchSizes)-1))]
+			bb := g.cfg.BatchSizes[1+((k+2)%(len(g.cfg.BatchSizes)-1))]
+			p, err := g.MeasurePoint(
+				Member{Benchmark: names[i], Batch: ba},
+				Member{Benchmark: names[j], Batch: bb},
+			)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+			added++
+		}
+	}
+
+	fnames, err := features.Names(2)
+	if err != nil {
+		return nil, err
+	}
+	c := &Corpus{Points: points, FeatureNames: fnames}
+	if err := c.normalize(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// normalize applies the Section V-C time normalization in place.
+func (c *Corpus) normalize() error {
+	d := c.rawDataset()
+	div, err := features.NormalizeTimes(d)
+	if err != nil {
+		return err
+	}
+	c.CPUTimeDivisor = div
+	// rawDataset shares row slices with Points, so Points now hold the
+	// normalized features.
+	return nil
+}
+
+// rawDataset wraps the corpus rows in an ml.Dataset sharing storage.
+func (c *Corpus) rawDataset() *ml.Dataset {
+	d := &ml.Dataset{FeatureNames: c.FeatureNames}
+	for i := range c.Points {
+		p := &c.Points[i]
+		d.X = append(d.X, p.X)
+		d.Y = append(d.Y, p.Y)
+		d.Groups = append(d.Groups, p.Members[0].Benchmark)
+	}
+	return d
+}
+
+// Dataset returns the corpus as an ml.Dataset. Group labels hold the first
+// member's benchmark; use ContainsBenchmark for the paper's LOOCV split.
+func (c *Corpus) Dataset() *ml.Dataset { return c.rawDataset() }
+
+// ContainsBenchmark reports whether point i includes the named benchmark.
+func (c *Corpus) ContainsBenchmark(i int, benchmark string) bool {
+	p := &c.Points[i]
+	return p.Members[0].Benchmark == benchmark || p.Members[1].Benchmark == benchmark
+}
+
+// BenchmarkNames returns the distinct benchmarks present, sorted.
+func (c *Corpus) BenchmarkNames() []string {
+	seen := map[string]bool{}
+	for i := range c.Points {
+		seen[c.Points[i].Members[0].Benchmark] = true
+		seen[c.Points[i].Members[1].Benchmark] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

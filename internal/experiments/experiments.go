@@ -1,0 +1,199 @@
+// Package experiments regenerates every computed artifact of the paper's
+// evaluation: Figures 1-3 (performance scaling with multi-application
+// concurrency), Figure 4 (LOOCV error per benchmark), Figures 5-9 (feature
+// scheme comparison and sensitivity), and Figures 10-12 (decision-path
+// analyses). Each Figure function returns a Table whose rows mirror the
+// series the corresponding figure plots; cmd/mapc-experiments and the
+// repository benchmarks render them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"mapc/internal/core"
+	"mapc/internal/dataset"
+)
+
+// Table is a rendered experiment result: the rows/series of one figure.
+type Table struct {
+	// ID is the paper artifact identifier, e.g. "figure5".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the data, pre-formatted as strings.
+	Rows [][]string
+	// Notes carries shape commentary (what the paper observed vs. what we
+	// measure).
+	Notes []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Env shares expensive state (the generator's workload cache and the
+// corpus) across figures. It is safe for sequential use; figures that need
+// the corpus trigger a one-time generation.
+type Env struct {
+	Cfg dataset.Config
+
+	genOnce sync.Once
+	gen     *dataset.Generator
+	genErr  error
+
+	corpusOnce sync.Once
+	corpus     *dataset.Corpus
+	corpusErr  error
+
+	loocvOnce sync.Once
+	loocv     []core.LOOCVResult
+	loocvErr  error
+
+	scalingOnce sync.Once
+	scalingCPU  map[string][]float64
+	scalingGPU  map[string][]float64
+	scalingErr  error
+}
+
+// NewEnv returns an environment with the given configuration.
+func NewEnv(cfg dataset.Config) *Env { return &Env{Cfg: cfg} }
+
+// DefaultEnv returns an environment with the paper-default configuration.
+func DefaultEnv() *Env { return NewEnv(dataset.DefaultConfig()) }
+
+// Generator returns the shared dataset generator.
+func (e *Env) Generator() (*dataset.Generator, error) {
+	e.genOnce.Do(func() {
+		e.gen, e.genErr = dataset.NewGenerator(e.Cfg)
+	})
+	return e.gen, e.genErr
+}
+
+// Corpus returns the shared 91-run corpus, generating it on first use.
+func (e *Env) Corpus() (*dataset.Corpus, error) {
+	e.corpusOnce.Do(func() {
+		gen, err := e.Generator()
+		if err != nil {
+			e.corpusErr = err
+			return
+		}
+		e.corpus, e.corpusErr = gen.Generate()
+	})
+	return e.corpus, e.corpusErr
+}
+
+// LOOCV returns the shared full-scheme Figure-4 cross-validation results.
+func (e *Env) LOOCV() ([]core.LOOCVResult, error) {
+	e.loocvOnce.Do(func() {
+		corpus, err := e.Corpus()
+		if err != nil {
+			e.loocvErr = err
+			return
+		}
+		e.loocv, e.loocvErr = core.LOOCV(corpus, core.SchemeFull,
+			core.DefaultTreeParams(), core.HoldOutOwn)
+	})
+	return e.loocv, e.loocvErr
+}
+
+// Generators maps artifact IDs to figure functions, in paper order.
+func Generators() []struct {
+	ID  string
+	Fn  func(*Env) (*Table, error)
+	Doc string
+} {
+	return []struct {
+		ID  string
+		Fn  func(*Env) (*Table, error)
+		Doc string
+	}{
+		{"table2", TableII, "benchmark suite (Table II)"},
+		{"table3", TableIII, "simulated baseline system (Table III)"},
+		{"table4", TableIV, "feature list (Table IV)"},
+		{"figure1", Figure1, "CPU performance vs. homogeneous instance count"},
+		{"figure2", Figure2, "GPU performance vs. homogeneous instance count"},
+		{"figure3", Figure3, "GPU/CPU performance ratio vs. instance count"},
+		{"figure4", Figure4, "LOOCV relative error per held-out benchmark"},
+		{"figure5", Figure5, "feature-scheme comparison with related work"},
+		{"figure6", Figure6, "effect of CPU time on the prediction error"},
+		{"figure7", Figure7, "effect of GPU time on the prediction error"},
+		{"figure8", Figure8, "effect of the instruction mix on the prediction error"},
+		{"figure9", Figure9, "effect of fairness on the prediction error"},
+		{"figure10", Figure10, "% of test points using each feature in their decision path"},
+		{"figure11", Figure11, "per-feature decision-path use-count distribution (radar)"},
+		{"figure12", Figure12, "per-test-point feature use heatmap snapshot"},
+	}
+}
+
+// Run generates one artifact by ID — a paper figure or an Extra extension.
+func Run(e *Env, id string) (*Table, error) {
+	for _, g := range Generators() {
+		if g.ID == id {
+			return g.Fn(e)
+		}
+	}
+	for _, g := range ExtraGenerators() {
+		if g.ID == id {
+			return g.Fn(e)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown artifact %q", id)
+}
+
+// All generates every artifact in paper order.
+func All(e *Env) ([]*Table, error) {
+	var out []*Table
+	for _, g := range Generators() {
+		t, err := g.Fn(e)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", g.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"mapc/internal/dataset"
+	"mapc/internal/vision"
+)
+
+var (
+	envOnce sync.Once
+	env     *Env
+)
+
+// testEnv shares one default environment (and thus one corpus) across all
+// figure tests in this package.
+func testEnv() *Env {
+	envOnce.Do(func() { env = DefaultEnv() })
+	return env
+}
+
+func cell(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestFigure1And2Shapes(t *testing.T) {
+	e := testEnv()
+	f1, err := Figure1(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Figure2(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []*Table{f1, f2} {
+		if len(tb.Rows) != 9 {
+			t.Fatalf("%s has %d rows", tb.ID, len(tb.Rows))
+		}
+		for r := range tb.Rows {
+			// Normalized to 1 at one instance.
+			if got := cell(t, tb, r, 1); got != 1 {
+				t.Errorf("%s row %d 1-inst perf %v", tb.ID, r, got)
+			}
+			// Performance never improves with added instances.
+			for c := 2; c <= MaxInstances; c++ {
+				if cell(t, tb, r, c) > cell(t, tb, r, c-1)+1e-9 {
+					t.Errorf("%s %s perf rose from %d to %d instances",
+						tb.ID, tb.Rows[r][0], c-1, c)
+				}
+			}
+		}
+	}
+	// Paper headline: GPU degradation at 4 instances exceeds the CPU's
+	// on average.
+	var cpuSum, gpuSum float64
+	for r := range f1.Rows {
+		cpuSum += cell(t, f1, r, MaxInstances)
+		gpuSum += cell(t, f2, r, MaxInstances)
+	}
+	if gpuSum >= cpuSum {
+		t.Errorf("mean GPU 4-instance perf %.3f not worse than CPU %.3f",
+			gpuSum/9, cpuSum/9)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	tb, err := Figure3(testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 9 {
+		t.Fatalf("figure3 rows %d", len(tb.Rows))
+	}
+	// Paper: GPU beats CPU for most single-instance benchmarks, with
+	// some exceptions.
+	wins, losses := 0, 0
+	for r := range tb.Rows {
+		if cell(t, tb, r, 1) > 1 {
+			wins++
+		} else {
+			losses++
+		}
+	}
+	if wins < 5 {
+		t.Errorf("GPU wins only %d/9 single-instance comparisons", wins)
+	}
+	if losses == 0 {
+		t.Error("no exceptions: paper found benchmarks where the CPU wins")
+	}
+}
+
+func TestFigure4Shape(t *testing.T) {
+	tb, err := Figure4(testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 10 { // 9 benchmarks + MEAN
+		t.Fatalf("figure4 rows %d", len(tb.Rows))
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "MEAN" {
+		t.Fatalf("last row %v", last)
+	}
+	mean, err := strconv.ParseFloat(last[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reproduction's headline: low-tens mean error (paper: 9%).
+	if mean <= 0 || mean > 40 {
+		t.Errorf("LOOCV mean %v%% outside the credible band", mean)
+	}
+	benches := map[string]bool{}
+	for _, n := range vision.Names() {
+		benches[n] = true
+	}
+	for _, row := range tb.Rows[:9] {
+		if !benches[row[0]] {
+			t.Errorf("unknown benchmark row %q", row[0])
+		}
+	}
+}
+
+func TestFigure5Ordering(t *testing.T) {
+	tb, err := Figure5(testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("figure5 rows %d", len(tb.Rows))
+	}
+	insmix := cell(t, tb, 0, 1)
+	insmixCPU := cell(t, tb, 1, 1)
+	full := cell(t, tb, 3, 1)
+	// The paper's central comparison.
+	if insmix < insmixCPU*3 {
+		t.Errorf("insmix %v not clearly worse than +cputime %v", insmix, insmixCPU)
+	}
+	if full >= insmixCPU {
+		t.Errorf("full %v not better than insmix+cputime %v", full, insmixCPU)
+	}
+	if insmix < 100 {
+		t.Errorf("insmix-only error %v%% — paper reports >140%%", insmix)
+	}
+}
+
+func TestSensitivityFigures(t *testing.T) {
+	e := testEnv()
+	for _, fn := range []func(*Env) (*Table, error){Figure6, Figure7, Figure8, Figure9} {
+		tb, err := fn(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tb.Rows) < 4 {
+			t.Errorf("%s rows %d", tb.ID, len(tb.Rows))
+		}
+		for r := range tb.Rows {
+			without := cell(t, tb, r, 1)
+			with := cell(t, tb, r, 2)
+			if without <= 0 || with <= 0 {
+				t.Errorf("%s row %d non-positive errors", tb.ID, r)
+			}
+		}
+	}
+	// Figure 6/7 headline: adding CPU/GPU time always helps.
+	for _, fn := range []func(*Env) (*Table, error){Figure6, Figure7} {
+		tb, _ := fn(e)
+		for r := range tb.Rows {
+			if cell(t, tb, r, 2) >= cell(t, tb, r, 1) {
+				t.Errorf("%s: adding the time feature did not reduce error for %q",
+					tb.ID, tb.Rows[r][0])
+			}
+		}
+	}
+}
+
+func TestPathFigures(t *testing.T) {
+	e := testEnv()
+	f10, err := Figure10(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f10.Rows) != 11 { // Table-IV kinds
+		t.Fatalf("figure10 rows %d", len(f10.Rows))
+	}
+	presence := map[string]float64{}
+	for r := range f10.Rows {
+		presence[f10.Rows[r][0]] = cell(t, f10, r, 1)
+	}
+	// Paper: GPU time in 100% of decision paths.
+	if presence["gpu_time"] < 99 {
+		t.Errorf("gpu_time presence %v%%", presence["gpu_time"])
+	}
+
+	f11, err := Figure11(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11.Rows) != 11 {
+		t.Fatalf("figure11 rows %d", len(f11.Rows))
+	}
+	// Histogram columns must sum to ~100% per feature.
+	for r := range f11.Rows {
+		var sum float64
+		for c := 2; c < len(f11.Header); c++ {
+			sum += cell(t, f11, r, c)
+		}
+		if sum < 99 || sum > 101 {
+			t.Errorf("figure11 row %q histogram sums to %v", f11.Rows[r][0], sum)
+		}
+	}
+
+	f12, err := Figure12(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f12.Rows) == 0 || len(f12.Rows) > heatmapPoints {
+		t.Fatalf("figure12 rows %d", len(f12.Rows))
+	}
+	if len(f12.Header) != 12 { // label + 11 kinds
+		t.Fatalf("figure12 header %v", f12.Header)
+	}
+}
+
+func TestGeneratorsAndRun(t *testing.T) {
+	gens := Generators()
+	if len(gens) != 15 { // Tables II-IV + Figures 1-12
+		t.Fatalf("%d generators", len(gens))
+	}
+	for i, g := range gens[:3] {
+		want := "table" + strconv.Itoa(i+2)
+		if g.ID != want {
+			t.Errorf("generator %d id %q, want %q", i, g.ID, want)
+		}
+	}
+	for i, g := range gens[3:] {
+		want := "figure" + strconv.Itoa(i+1)
+		if g.ID != want {
+			t.Errorf("generator %d id %q, want %q", i+3, g.ID, want)
+		}
+	}
+	if _, err := Run(testEnv(), "figure999"); err == nil {
+		t.Error("unknown artifact accepted")
+	}
+	tb, err := Run(testEnv(), "figure10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.ID != "figure10" {
+		t.Errorf("Run returned %q", tb.ID)
+	}
+}
+
+func TestDescriptiveTables(t *testing.T) {
+	e := testEnv()
+	t2, err := TableII(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2.Rows) != 9 {
+		t.Fatalf("Table II rows %d", len(t2.Rows))
+	}
+	for _, row := range t2.Rows {
+		if row[1] == "" {
+			t.Errorf("benchmark %q has empty description", row[0])
+		}
+	}
+	t3, err := TableIII(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) < 10 {
+		t.Fatalf("Table III rows %d", len(t3.Rows))
+	}
+	t4, err := TableIV(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 11 {
+		t.Fatalf("Table IV rows %d, want the 11 feature kinds", len(t4.Rows))
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yy", "22"}},
+		Notes:  []string{"hello"},
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "long-header", "yy", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnvBadConfig(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.Threads = 0
+	e := NewEnv(cfg)
+	if _, err := e.Corpus(); err == nil {
+		t.Error("invalid config corpus succeeded")
+	}
+	if _, err := Figure4(e); err == nil {
+		t.Error("figure on invalid env succeeded")
+	}
+}
+
+func TestExtraExperiments(t *testing.T) {
+	e := testEnv()
+	// Fast extras only — ordering regenerates a second corpus and the
+	// model comparison runs 40 holdout fits; both are covered by the
+	// benchmark harness instead.
+	for _, id := range []string{"bagsize", "protocols", "microarch"} {
+		tb, err := Run(e, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s has no rows", id)
+		}
+	}
+	// bagsize: makespan ratios must be non-decreasing in bag size.
+	tb, err := Run(e, "bagsize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range tb.Rows {
+		for c := 2; c < len(tb.Header); c++ {
+			if cell(t, tb, r, c) < cell(t, tb, r, c-1)-1e-9 {
+				t.Errorf("bagsize %s shrank from col %d to %d", tb.Rows[r][0], c-1, c)
+			}
+		}
+	}
+	if len(ExtraGenerators()) != 7 {
+		t.Errorf("%d extra generators", len(ExtraGenerators()))
+	}
+}
+
+func TestExtraSchedulingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling extra trains a predictor and drains four schedules")
+	}
+	tb, err := Run(testEnv(), "scheduling")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("%d policy rows", len(tb.Rows))
+	}
+	makespan := map[string]float64{}
+	for r := range tb.Rows {
+		makespan[tb.Rows[r][0]] = cell(t, tb, r, 1)
+	}
+	// The oracle can never lose to serial execution, and the predictor
+	// must realize a real gain over serial too.
+	if makespan["oracle-pairing"] > makespan["serial-fifo"]*(1+1e-9) {
+		t.Errorf("oracle (%v) worse than serial (%v)",
+			makespan["oracle-pairing"], makespan["serial-fifo"])
+	}
+	if makespan["predicted-pairing"] >= makespan["serial-fifo"] {
+		t.Errorf("predicted pairing (%v) not better than serial (%v)",
+			makespan["predicted-pairing"], makespan["serial-fifo"])
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mapc/internal/core"
+)
+
+// Figure10 reproduces Figure 10: the percentage of LOOCV test points whose
+// decision path uses each feature kind at least once.
+func Figure10(e *Env) (*Table, error) {
+	stats, err := e.pathStats()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure10",
+		Title:  "Percentage of test points containing a feature in their decision path",
+		Header: []string{"feature", "presence %"},
+		Notes: []string{
+			"paper shape: GPU time appears in 100% of decision paths, fairness in ~65%, the mix features far less",
+		},
+	}
+	for _, k := range stats.KindNames {
+		t.Rows = append(t.Rows, []string{k, fmt.Sprintf("%.1f", stats.Presence[k])})
+	}
+	return t, nil
+}
+
+// maxPathUses caps the use-count histogram of Figure 11.
+const maxPathUses = 6
+
+// Figure11 reproduces Figure 11's radar data: for each feature kind, the
+// distribution of per-test-point decision-path use counts.
+func Figure11(e *Env) (*Table, error) {
+	stats, err := e.pathStats()
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"feature", "mean uses"}
+	for u := 0; u <= maxPathUses; u++ {
+		label := fmt.Sprintf("=%d", u)
+		if u == maxPathUses {
+			label = fmt.Sprintf(">=%d", u)
+		}
+		header = append(header, label)
+	}
+	t := &Table{
+		ID:     "figure11",
+		Title:  "Frequency of each feature on per-test-point decision paths (radar data, % of test points)",
+		Header: header,
+		Notes: []string{
+			"paper shape: GPU time is consulted ~5-6 times per path, fairness 1-3 times on most paths, other features 0-2 times",
+		},
+	}
+	n := float64(len(stats.PerPoint))
+	for _, k := range stats.KindNames {
+		hist := make([]int, maxPathUses+1)
+		for _, counts := range stats.PerPoint {
+			u := counts[k]
+			if u > maxPathUses {
+				u = maxPathUses
+			}
+			hist[u]++
+		}
+		row := []string{k, fmt.Sprintf("%.2f", stats.MeanUses[k])}
+		for _, h := range hist {
+			row = append(row, fmt.Sprintf("%.0f", float64(h)/n*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// heatmapPoints is the number of sample test points shown in Figure 12's
+// snapshot (the paper shows 26).
+const heatmapPoints = 26
+
+// Figure12 reproduces Figure 12: a per-test-point heatmap of how many times
+// each feature kind was used on the point's decision path.
+func Figure12(e *Env) (*Table, error) {
+	stats, err := e.pathStats()
+	if err != nil {
+		return nil, err
+	}
+	header := []string{"test point"}
+	header = append(header, stats.KindNames...)
+	t := &Table{
+		ID:     "figure12",
+		Title:  "Snapshot of per-test-point feature use counts on decision paths",
+		Header: header,
+		Notes: []string{
+			"paper shape: the GPU-time column dominates every row; fairness contributes 1-3 uses on most rows; CPU time appears on few nodes yet those splits are load-bearing",
+		},
+	}
+	limit := heatmapPoints
+	if limit > len(stats.PerPoint) {
+		limit = len(stats.PerPoint)
+	}
+	for i := 0; i < limit; i++ {
+		row := []string{fmt.Sprintf("t%d", i+1)}
+		for _, k := range stats.KindNames {
+			row = append(row, fmt.Sprintf("%d", stats.PerPoint[i][k]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// pathStats computes (and does not cache — the underlying LOOCV is cached)
+// the decision-path statistics shared by Figures 10-12.
+func (e *Env) pathStats() (*core.PathStats, error) {
+	res, err := e.LOOCV()
+	if err != nil {
+		return nil, err
+	}
+	return core.AnalyzePaths(res)
+}

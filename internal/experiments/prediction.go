@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mapc/internal/core"
+	"mapc/internal/features"
+	"mapc/internal/isa"
+)
+
+// Figure4 reproduces the per-benchmark LOOCV relative errors of Figure 4.
+func Figure4(e *Env) (*Table, error) {
+	res, err := e.LOOCV()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure4",
+		Title:  "Relative error for leave-one-out cross validation (full feature set)",
+		Header: []string{"held-out benchmark", "mean rel. error %", "test points"},
+		Notes: []string{
+			"paper shape: single-digit-to-low-tens per-benchmark errors, mean ~9% (paper) vs. our simulated substrate's mean below",
+		},
+	}
+	for _, r := range res {
+		t.Rows = append(t.Rows, []string{
+			r.Benchmark,
+			fmt.Sprintf("%.2f", r.MeanRelErr),
+			fmt.Sprintf("%d", len(r.PerPoint)),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"MEAN", fmt.Sprintf("%.2f", core.MeanLOOCVError(res)), ""})
+	return t, nil
+}
+
+// schemeError evaluates one scheme under the Figure-4 protocol.
+func schemeError(e *Env, s core.Scheme) (float64, error) {
+	corpus, err := e.Corpus()
+	if err != nil {
+		return 0, err
+	}
+	return core.EvaluateScheme(corpus, s, core.DefaultTreeParams(), core.HoldOutOwn)
+}
+
+// Figure5 reproduces the related-work comparison of Figure 5: the four
+// feature schemes' LOOCV errors.
+func Figure5(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "figure5",
+		Title:  "Comparison with related work (feature schemes, LOOCV error)",
+		Header: []string{"scheme", "mean rel. error %"},
+		Notes: []string{
+			"paper: insmix 144.6%, +cputime 57.05%, +fairness 37.73%, full 9.05%",
+			"shape to match: insmix-only is catastrophically wrong; each added feature family shrinks the error; the full Table-IV set wins",
+		},
+	}
+	for _, s := range core.Figure5Schemes() {
+		err := func() error {
+			v, err := schemeError(e, s)
+			if err != nil {
+				return err
+			}
+			t.Rows = append(t.Rows, []string{s.Name, fmt.Sprintf("%.2f", v)})
+			return nil
+		}()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// sensitivity builds a Figure 6-9 style table: per base combination, the
+// error without and with the added feature kind(s).
+func sensitivity(e *Env, id, title string, added []string, bases []core.Scheme, paperNote string) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"base combination", "without %", "with %", "change %"},
+		Notes:  []string{paperNote},
+	}
+	for _, base := range bases {
+		with, err := core.NewScheme(base.Name+"+"+added[0], append(append([]string{}, base.Kinds...), added...)...)
+		if err != nil {
+			return nil, err
+		}
+		e0, err := schemeError(e, base)
+		if err != nil {
+			return nil, err
+		}
+		e1, err := schemeError(e, with)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			base.Name,
+			fmt.Sprintf("%.2f", e0),
+			fmt.Sprintf("%.2f", e1),
+			fmt.Sprintf("%+.2f", e1-e0),
+		})
+	}
+	return t, nil
+}
+
+func mustKinds(name string, kinds ...string) core.Scheme {
+	s, err := core.NewScheme(name, kinds...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+var (
+	kMem   = isa.MEM.String()
+	kALU   = isa.ALU.String()
+	kSSE   = isa.SSE.String()
+	kCPU   = features.KindCPUTime
+	kGPU   = features.KindGPUTime
+	kFair  = features.KindFairness
+	insmix = core.SchemeInsmix.Kinds
+)
+
+// Figure6 reproduces the CPU-time sensitivity study of Figure 6.
+func Figure6(e *Env) (*Table, error) {
+	return sensitivity(e, "figure6", "Effect of CPU time on the prediction error",
+		[]string{kCPU},
+		[]core.Scheme{
+			mustKinds("insmix", insmix...),
+			mustKinds("mem+fairness", kMem, kFair),
+			mustKinds("arith+sse+fairness", kALU, kSSE, kFair),
+			mustKinds("insmix+fairness", append(append([]string{}, insmix...), kFair)...),
+			mustKinds("mem", kMem),
+		},
+		"paper shape: adding CPU time reduces the error for every base combination")
+}
+
+// Figure7 reproduces the GPU-time sensitivity study of Figure 7.
+func Figure7(e *Env) (*Table, error) {
+	return sensitivity(e, "figure7", "Effect of GPU time on the prediction error",
+		[]string{kGPU},
+		[]core.Scheme{
+			mustKinds("insmix", insmix...),
+			mustKinds("arith+sse+fairness", kALU, kSSE, kFair),
+			mustKinds("mem+cputime", kMem, kCPU),
+			mustKinds("insmix+fairness", append(append([]string{}, insmix...), kFair)...),
+			mustKinds("insmix+cputime+fairness", append(append([]string{}, insmix...), kCPU, kFair)...),
+		},
+		"paper shape: adding GPU time gives the largest error reductions of any feature (Insight 3)")
+}
+
+// Figure8 reproduces the instruction-mix sensitivity study of Figure 8.
+func Figure8(e *Env) (*Table, error) {
+	return sensitivity(e, "figure8", "Effect of the instruction mix on the prediction error",
+		insmix,
+		[]core.Scheme{
+			mustKinds("gputime", kGPU),
+			mustKinds("gputime+fairness", kGPU, kFair),
+			mustKinds("cputime", kCPU),
+			mustKinds("cputime+fairness", kCPU, kFair),
+		},
+		"paper shape: the mix helps combinations built on CPU time but adds little once GPU time is present")
+}
+
+// Figure9 reproduces the fairness sensitivity study of Figure 9.
+func Figure9(e *Env) (*Table, error) {
+	return sensitivity(e, "figure9", "Effect of fairness on the prediction error",
+		[]string{kFair},
+		[]core.Scheme{
+			mustKinds("insmix", insmix...),
+			mustKinds("insmix+cputime", append(append([]string{}, insmix...), kCPU)...),
+			mustKinds("mem+cputime+gputime", kMem, kCPU, kGPU),
+			mustKinds("insmix+cputime+gputime", append(append([]string{}, insmix...), kCPU, kGPU)...),
+		},
+		"paper shape: fairness reduces the error for every combination; in our substrate its contribution is within noise because the phased co-run model lets the replicated CPU-time features carry most of the same signal (see EXPERIMENTS.md)")
+}

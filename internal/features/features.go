@@ -1,0 +1,177 @@
+// Package features assembles the Table-IV feature vectors the predictor
+// consumes: per application, the CPU execution time, the single-instance
+// GPU execution time and the eight instruction-mix percentages; per bag,
+// the fairness metric. Heterogeneous bags replicate the per-application
+// block once per member (Section V-A1), and time-valued features are
+// normalized by the range of the CPU-time feature over the training data
+// (Section V-C).
+package features
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"mapc/internal/isa"
+	"mapc/internal/mica"
+	"mapc/internal/ml"
+)
+
+// PerApp is the number of per-application features: CPU time, GPU time and
+// the eight mix percentages.
+const PerApp = 2 + int(isa.NumCategories)
+
+// Kinds of features, used to aggregate replicated columns in the decision
+// path analyses (Figures 10-12).
+const (
+	KindCPUTime  = "cpu_time"
+	KindGPUTime  = "gpu_time"
+	KindFairness = "fairness"
+)
+
+// appSuffixes label the per-application blocks of the replicated vector.
+var appSuffixes = []string{"_a", "_b", "_c", "_d"}
+
+// Names returns the feature-column names for a bag of nApps applications:
+// the per-app block repeated with _a/_b/... suffixes, then "fairness".
+func Names(nApps int) ([]string, error) {
+	if nApps < 1 || nApps > len(appSuffixes) {
+		return nil, fmt.Errorf("features: unsupported bag size %d", nApps)
+	}
+	var out []string
+	for a := 0; a < nApps; a++ {
+		sfx := appSuffixes[a]
+		out = append(out, KindCPUTime+sfx, KindGPUTime+sfx)
+		for c := isa.Category(0); c < isa.NumCategories; c++ {
+			out = append(out, c.String()+sfx)
+		}
+	}
+	return append(out, KindFairness), nil
+}
+
+// Kind strips the application suffix from a feature name, mapping e.g.
+// "cpu_time_b" to "cpu_time" and "fairness" to itself.
+func Kind(name string) string {
+	for _, sfx := range appSuffixes {
+		if cut, ok := strings.CutSuffix(name, sfx); ok {
+			return cut
+		}
+	}
+	return name
+}
+
+// KindNames returns the distinct feature kinds in canonical order: the
+// Table-IV rows.
+func KindNames() []string {
+	out := []string{KindCPUTime, KindGPUTime}
+	for c := isa.Category(0); c < isa.NumCategories; c++ {
+		out = append(out, c.String())
+	}
+	return append(out, KindFairness)
+}
+
+// App is one application's measured per-app features.
+type App struct {
+	// CPUTimeSec is the isolated multicore execution time.
+	CPUTimeSec float64
+	// GPUTimeSec is the isolated single-instance GPU execution time.
+	GPUTimeSec float64
+	// Mix is the MICA instruction mix.
+	Mix mica.Mix
+}
+
+// vector renders the app's per-app feature block. Mix features are stored
+// as percentages, matching Table IV.
+func (a *App) vector() []float64 {
+	out := make([]float64, 0, PerApp)
+	out = append(out, a.CPUTimeSec, a.GPUTimeSec)
+	for c := isa.Category(0); c < isa.NumCategories; c++ {
+		out = append(out, a.Mix.Percent(c))
+	}
+	return out
+}
+
+// BagVector builds the full feature vector for a bag: replicated per-app
+// blocks followed by the fairness value.
+func BagVector(apps []App, fairness float64) ([]float64, error) {
+	if len(apps) == 0 {
+		return nil, errors.New("features: empty bag")
+	}
+	if len(apps) > len(appSuffixes) {
+		return nil, fmt.Errorf("features: unsupported bag size %d", len(apps))
+	}
+	if fairness <= 0 || fairness > 1 {
+		return nil, fmt.Errorf("features: fairness %v outside (0,1]", fairness)
+	}
+	var out []float64
+	for i := range apps {
+		out = append(out, apps[i].vector()...)
+	}
+	return append(out, fairness), nil
+}
+
+// ScaleTimes divides the time-valued entries of a single feature vector by
+// divisor — the transform a trained predictor applies to fresh inputs using
+// the divisor captured from its training corpus.
+func ScaleTimes(names []string, x []float64, divisor float64) error {
+	if len(names) != len(x) {
+		return fmt.Errorf("features: %d names for %d values", len(names), len(x))
+	}
+	if divisor <= 0 {
+		return errors.New("features: non-positive time divisor")
+	}
+	for j, n := range names {
+		switch Kind(n) {
+		case KindCPUTime, KindGPUTime:
+			x[j] /= divisor
+		}
+	}
+	return nil
+}
+
+// NormalizeTimes rescales every time-valued column of the dataset by the
+// range (max-min) of the first CPU-time column, the normalization of
+// Section V-C. It mutates the dataset's rows in place and returns the
+// divisor used. Trees are invariant to this monotone rescaling; it matters
+// for the SVR/linear baselines.
+func NormalizeTimes(d *ml.Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	cpuCol := -1
+	var timeCols []int
+	for j, n := range d.FeatureNames {
+		switch Kind(n) {
+		case KindCPUTime:
+			if cpuCol < 0 {
+				cpuCol = j
+			}
+			timeCols = append(timeCols, j)
+		case KindGPUTime:
+			timeCols = append(timeCols, j)
+		}
+	}
+	if cpuCol < 0 {
+		return 0, errors.New("features: dataset has no cpu_time column")
+	}
+	min, max := d.X[0][cpuCol], d.X[0][cpuCol]
+	for _, row := range d.X {
+		v := row[cpuCol]
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	div := max - min
+	if div <= 0 {
+		return 0, errors.New("features: degenerate cpu_time range")
+	}
+	for _, row := range d.X {
+		for _, j := range timeCols {
+			row[j] /= div
+		}
+	}
+	return div, nil
+}

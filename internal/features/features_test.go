@@ -1,0 +1,186 @@
+package features
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mapc/internal/isa"
+	"mapc/internal/mica"
+	"mapc/internal/ml"
+)
+
+func TestNames(t *testing.T) {
+	names, err := Names(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2*PerApp+1 {
+		t.Fatalf("len = %d, want %d", len(names), 2*PerApp+1)
+	}
+	if names[0] != "cpu_time_a" || names[1] != "gpu_time_a" {
+		t.Errorf("first columns %v", names[:2])
+	}
+	if names[PerApp] != "cpu_time_b" {
+		t.Errorf("second block starts with %q", names[PerApp])
+	}
+	if names[len(names)-1] != "fairness" {
+		t.Errorf("last column %q", names[len(names)-1])
+	}
+	if _, err := Names(0); err == nil {
+		t.Error("bag size 0 accepted")
+	}
+	if _, err := Names(9); err == nil {
+		t.Error("oversized bag accepted")
+	}
+}
+
+func TestKind(t *testing.T) {
+	cases := map[string]string{
+		"cpu_time_a": KindCPUTime,
+		"gpu_time_b": KindGPUTime,
+		"sse_a":      "sse",
+		"control_b":  "control",
+		"fairness":   KindFairness,
+	}
+	for in, want := range cases {
+		if got := Kind(in); got != want {
+			t.Errorf("Kind(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	kinds := KindNames()
+	if len(kinds) != int(isa.NumCategories)+3 {
+		t.Fatalf("kind count %d", len(kinds))
+	}
+	if kinds[0] != KindCPUTime || kinds[len(kinds)-1] != KindFairness {
+		t.Errorf("kind order %v", kinds)
+	}
+}
+
+func sampleApp(cpu, gpu float64) App {
+	var c isa.Counts
+	c.Add(isa.ALU, 60)
+	c.Add(isa.MEM, 40)
+	mix, _ := mica.Mix{}, error(nil)
+	_ = mix
+	m := mica.Mix(c.Mix())
+	return App{CPUTimeSec: cpu, GPUTimeSec: gpu, Mix: m}
+}
+
+func TestBagVectorLayout(t *testing.T) {
+	a := sampleApp(1.0, 0.5)
+	b := sampleApp(2.0, 0.25)
+	x, err := BagVector([]App{a, b}, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := Names(2)
+	if len(x) != len(names) {
+		t.Fatalf("vector width %d, names %d", len(x), len(names))
+	}
+	if x[0] != 1.0 || x[1] != 0.5 {
+		t.Errorf("app a times %v %v", x[0], x[1])
+	}
+	if x[PerApp] != 2.0 || x[PerApp+1] != 0.25 {
+		t.Errorf("app b times %v %v", x[PerApp], x[PerApp+1])
+	}
+	// Mix entries are percentages.
+	if math.Abs(x[2+int(isa.ALU)]-60) > 1e-9 {
+		t.Errorf("ALU percent %v", x[2+int(isa.ALU)])
+	}
+	if x[len(x)-1] != 0.8 {
+		t.Errorf("fairness %v", x[len(x)-1])
+	}
+}
+
+func TestBagVectorErrors(t *testing.T) {
+	a := sampleApp(1, 1)
+	if _, err := BagVector(nil, 0.5); err == nil {
+		t.Error("empty bag accepted")
+	}
+	if _, err := BagVector([]App{a}, 0); err == nil {
+		t.Error("zero fairness accepted")
+	}
+	if _, err := BagVector([]App{a}, 1.2); err == nil {
+		t.Error("fairness > 1 accepted")
+	}
+	if _, err := BagVector(make([]App, 9), 0.5); err == nil {
+		t.Error("oversized bag accepted")
+	}
+}
+
+func TestNormalizeTimes(t *testing.T) {
+	names, _ := Names(2)
+	mk := func(cpuA, gpuA, cpuB, gpuB float64) []float64 {
+		x, err := BagVector([]App{sampleApp(cpuA, gpuA), sampleApp(cpuB, gpuB)}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x
+	}
+	d := &ml.Dataset{
+		FeatureNames: names,
+		X: [][]float64{
+			mk(1, 0.5, 2, 0.25),
+			mk(5, 2.0, 3, 1.0),
+		},
+		Y: []float64{1, 2},
+	}
+	div, err := NormalizeTimes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if div != 4 { // cpu_time_a range: 5 - 1
+		t.Fatalf("divisor %v, want 4", div)
+	}
+	if d.X[0][0] != 0.25 || d.X[0][1] != 0.125 {
+		t.Errorf("normalized times %v %v", d.X[0][0], d.X[0][1])
+	}
+	// Mix columns untouched.
+	if math.Abs(d.X[0][2+int(isa.ALU)]-60) > 1e-9 {
+		t.Errorf("mix column rescaled: %v", d.X[0][2+int(isa.ALU)])
+	}
+}
+
+func TestNormalizeTimesDegenerate(t *testing.T) {
+	names, _ := Names(1)
+	d := &ml.Dataset{
+		FeatureNames: names,
+		X:            [][]float64{{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1}, {1, 2, 0, 0, 0, 0, 0, 0, 0, 0, 1}},
+		Y:            []float64{1, 2},
+	}
+	if _, err := NormalizeTimes(d); err == nil {
+		t.Error("zero cpu_time range accepted")
+	}
+}
+
+func TestScaleTimes(t *testing.T) {
+	names, _ := Names(1)
+	x := make([]float64, len(names))
+	x[0], x[1] = 8, 4 // cpu, gpu
+	x[2] = 50         // mix percent must not change
+	orig := append([]float64(nil), x...)
+	if err := ScaleTimes(names, x, 4); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 2 || x[1] != 1 || x[2] != 50 {
+		t.Fatalf("scaled vector %v from %v", x, orig)
+	}
+	if err := ScaleTimes(names, x, 0); err == nil {
+		t.Error("zero divisor accepted")
+	}
+	if err := ScaleTimes(names[:2], x, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestNamesAreStable(t *testing.T) {
+	a, _ := Names(2)
+	b, _ := Names(2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Names not deterministic")
+	}
+}

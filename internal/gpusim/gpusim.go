@@ -1,0 +1,614 @@
+// Package gpusim models the paper's GPU (Table III: NVIDIA Tesla T4,
+// Turing, 2560 CUDA cores across 40 SMs) executing trace.Workloads as
+// sequences of SIMT kernels, alone or concurrently under MPS-style spatial
+// multiplexing.
+//
+// The model captures the mechanisms Section II of the paper identifies as
+// the sources of multi-application slowdown:
+//
+//   - SM partitioning: concurrent clients receive disjoint SM subsets, so
+//     per-app compute throughput shrinks with the client count;
+//   - shared L2: all clients' miss streams interleave into one cache, so
+//     footprints evict each other (destructive interference);
+//   - shared TLB: translations from different address spaces compete for
+//     entries, and client interleaving periodically flushes the TLB;
+//   - shared DRAM bandwidth, apportioned by demand;
+//   - warp divergence: branchy kernels pay a throughput penalty that grows
+//     with their control-instruction fraction — the reason the FAST/ORB
+//     style workloads underperform on GPUs in Figure 3;
+//   - occupancy: kernels whose exposed parallelism cannot fill the SM
+//     partition leave compute lanes idle.
+package gpusim
+
+import (
+	"errors"
+	"fmt"
+
+	"mapc/internal/isa"
+	"mapc/internal/memsim"
+	"mapc/internal/trace"
+)
+
+// Config describes the simulated GPU. DefaultConfig mirrors the Tesla T4.
+type Config struct {
+	SMs             int     // streaming multiprocessors
+	WarpSize        int     // threads per warp
+	MaxThreadsPerSM int     // resident thread capacity per SM
+	FreqGHz         float64 // SM clock
+
+	// Throughput is per-SM operations per cycle for each category.
+	Throughput [isa.NumCategories]float64
+
+	L2Bytes int64 // device-wide shared L2
+	L2Ways  int
+
+	TLBEntries    int     // shared TLB entries (all MPS clients)
+	TLBMissCycles float64 // page-walk latency
+	// TLBFlushPeriod is the number of references between full TLB
+	// flushes when more than one client shares the GPU (MPS context
+	// interleaving); 0 disables flushing.
+	TLBFlushPeriod int
+
+	L2LatencyCycles float64 // L1/SM miss, L2 hit (beyond pipeline)
+	DRAMLatency     float64 // L2 miss, in cycles
+	DRAMBandwidth   float64 // bytes/second
+	MLP             float64 // overlapped outstanding misses per SM partition
+
+	KernelLaunchCycles float64 // per-phase launch + driver overhead
+
+	// PCIeBandwidth and PCIeLatencySec model the host-to-device transfer
+	// of the input batch before the kernels run; the transfer volume
+	// comes from the workload's TransferBytes. PCIe bandwidth is shared
+	// among concurrent clients by max-min fairness.
+	PCIeBandwidth  float64 // bytes/second
+	PCIeLatencySec float64 // fixed per-direction setup latency
+	// SchedulerOverhead is the extra per-kernel cost factor per
+	// additional concurrent client (thread scheduling across apps,
+	// Section II issue 5).
+	SchedulerOverhead float64
+
+	// DivergencePenalty scales the throughput loss of branchy kernels:
+	// effective compute cycles are multiplied by
+	// (1 + DivergencePenalty * controlFraction).
+	DivergencePenalty float64
+
+	// FullUtilThreads is the resident-thread count needed to saturate one
+	// SM's pipelines (latency hiding); occupancy below this scales
+	// throughput down.
+	FullUtilThreads int
+
+	// PatternCoalescing, when true, scales LSU pressure by each phase's
+	// access pattern (sequential warps coalesce into fewer transactions).
+	// Off by default: the calibrated LSU throughput already reflects the
+	// suite's average coalescing; the explicit model is an opt-in
+	// refinement studied by the ablations.
+	PatternCoalescing bool
+}
+
+// DefaultConfig returns the Tesla-T4-equivalent device.
+func DefaultConfig() Config {
+	var tput [isa.NumCategories]float64
+	tput[isa.SSE] = 64     // FP32 lanes consume packed work directly
+	tput[isa.ALU] = 64     // INT32 lanes
+	tput[isa.MEM] = 16     // LSU width
+	tput[isa.FP] = 64      // FP32 lanes
+	tput[isa.Stack] = 16   // local-memory traffic
+	tput[isa.String] = 8   // byte-wise ops serialize
+	tput[isa.Shift] = 32   // half-rate integer multiply/shift
+	tput[isa.Control] = 16 // branch resolution
+	return Config{
+		SMs:                40,
+		WarpSize:           32,
+		MaxThreadsPerSM:    1024,
+		FreqGHz:            1.59,
+		Throughput:         tput,
+		L2Bytes:            4 << 20,
+		L2Ways:             16,
+		TLBEntries:         512,
+		TLBMissCycles:      300,
+		TLBFlushPeriod:     12000,
+		L2LatencyCycles:    160,
+		DRAMLatency:        400,
+		DRAMBandwidth:      320e9,
+		MLP:                24,
+		KernelLaunchCycles: 8000,
+		PCIeBandwidth:      7e9,
+		PCIeLatencySec:     25e-6,
+		SchedulerOverhead:  0.06,
+		DivergencePenalty:  4.0,
+		FullUtilThreads:    128,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.SMs <= 0 || c.WarpSize <= 0 || c.MaxThreadsPerSM <= 0:
+		return errors.New("gpusim: SM geometry must be positive")
+	case c.FreqGHz <= 0:
+		return errors.New("gpusim: frequency must be positive")
+	case c.L2Bytes <= 0:
+		return errors.New("gpusim: L2 capacity must be positive")
+	case c.TLBEntries <= 0:
+		return errors.New("gpusim: TLB entries must be positive")
+	case c.DRAMBandwidth <= 0:
+		return errors.New("gpusim: DRAM bandwidth must be positive")
+	case c.PCIeBandwidth <= 0:
+		return errors.New("gpusim: PCIe bandwidth must be positive")
+	case c.PCIeLatencySec < 0:
+		return errors.New("gpusim: PCIe latency must be non-negative")
+	case c.MLP <= 0:
+		return errors.New("gpusim: MLP must be positive")
+	case c.FullUtilThreads <= 0:
+		return errors.New("gpusim: FullUtilThreads must be positive")
+	}
+	for cat, t := range c.Throughput {
+		if t <= 0 {
+			return fmt.Errorf("gpusim: throughput for %v must be positive", isa.Category(cat))
+		}
+	}
+	return nil
+}
+
+// Result reports one application's simulated GPU execution.
+type Result struct {
+	TimeSec      float64
+	Cycles       float64
+	Instructions uint64
+	// IPC is aggregate instructions per device cycle.
+	IPC float64
+	// L2MissRate is the app's L2 miss ratio.
+	L2MissRate float64
+	// TLBMissRate is the app's TLB miss ratio.
+	TLBMissRate float64
+	// DRAMBytes is total memory traffic.
+	DRAMBytes float64
+	// SMShare is the number of SMs the app's MPS partition received.
+	SMShare float64
+}
+
+// Performance returns 1/time, the paper's definition of performance.
+func (r Result) Performance() float64 {
+	if r.TimeSec <= 0 {
+		return 0
+	}
+	return 1 / r.TimeSec
+}
+
+type phaseMem struct {
+	l2Miss  float64 // per reference
+	tlbMiss float64 // per reference
+}
+
+// Run simulates apps launched together under MPS and returns each app's
+// completion time. The execution is *phased*: all clients contend while
+// co-resident, and as each one finishes, the survivors are re-simulated with
+// the smaller client set (more SMs, less cache/TLB/bandwidth interference).
+// This matches real MPS behaviour, where a short job's exit releases its SM
+// partition to the remaining clients. A single-element slice is an isolated
+// run.
+func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(workloads) == 0 {
+		return nil, errors.New("gpusim: no workloads")
+	}
+	for i, w := range workloads {
+		if w == nil {
+			return nil, fmt.Errorf("gpusim: workload %d is nil", i)
+		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("gpusim: workload %d: %w", i, err)
+		}
+	}
+
+	// Steady-state results for the full client set: the per-app rates and
+	// statistics while everyone is resident.
+	steady, err := runSteady(cfg, workloads)
+	if err != nil {
+		return nil, err
+	}
+	if len(workloads) == 1 {
+		return steady, nil
+	}
+
+	// Phased schedule: progress every active app proportionally to its
+	// current steady-state rate; when the earliest finisher completes,
+	// re-evaluate the survivors as a smaller client set.
+	n := len(workloads)
+	remaining := make([]float64, n) // fraction of work left
+	finish := make([]float64, n)    // completion time (seconds)
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+		remaining[i] = 1
+	}
+	cur := steady
+	var clock float64
+	for len(active) > 0 {
+		// Earliest completion among active apps at current rates.
+		best := -1
+		bestDT := 0.0
+		for k, ai := range active {
+			dt := remaining[ai] * cur[k].TimeSec
+			if best < 0 || dt < bestDT {
+				best, bestDT = k, dt
+			}
+		}
+		for k, ai := range active {
+			if cur[k].TimeSec > 0 {
+				remaining[ai] -= bestDT / cur[k].TimeSec
+			} else {
+				remaining[ai] = 0
+			}
+		}
+		clock += bestDT
+		done := active[best]
+		finish[done] = clock
+		remaining[done] = 0
+		active = append(active[:best], active[best+1:]...)
+		if len(active) == 0 {
+			break
+		}
+		sub := make([]*trace.Workload, len(active))
+		for k, ai := range active {
+			sub[k] = workloads[ai]
+		}
+		cur, err = runSteady(cfg, sub)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Report: completion times from the phased schedule; rates and memory
+	// statistics from the full-contention period (the shared-run counters
+	// a profiler attached to the co-run window would read).
+	out := make([]Result, n)
+	for i := range workloads {
+		out[i] = steady[i]
+		out[i].TimeSec = finish[i]
+		out[i].Cycles = finish[i] * cfg.FreqGHz * 1e9
+		if out[i].Cycles > 0 {
+			out[i].IPC = float64(out[i].Instructions) / out[i].Cycles
+		}
+	}
+	return out, nil
+}
+
+// runSteady computes per-app execution times assuming the full client set
+// stays resident for the whole run.
+func runSteady(cfg Config, workloads []*trace.Workload) ([]Result, error) {
+	mem, l2Stats, tlbStats, err := simulateMemory(cfg, workloads)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(workloads)
+	smShare := float64(cfg.SMs) / float64(n) // MPS spatial partitioning
+
+	results := make([]Result, n)
+	traffic := make([]float64, n)
+	for i, w := range workloads {
+		cycles, bytes := appCycles(cfg, w, mem[i], smShare, n, 0)
+		results[i].Cycles = cycles
+		traffic[i] = bytes
+	}
+	// PCIe: each client first ships its input batch; concurrent clients
+	// split the link evenly while their transfers overlap.
+	transferring := 0
+	for _, w := range workloads {
+		if w.TransferBytes > 0 {
+			transferring++
+		}
+	}
+	pcieShare := cfg.PCIeBandwidth
+	if transferring > 1 {
+		pcieShare /= float64(transferring)
+	}
+
+	share := bandwidthShares(cfg, results, traffic)
+	for i, w := range workloads {
+		cycles, bytes := appCycles(cfg, w, mem[i], smShare, n, share[i])
+		if w.TransferBytes > 0 {
+			xfer := cfg.PCIeLatencySec + float64(w.TransferBytes)/pcieShare
+			cycles += xfer * cfg.FreqGHz * 1e9
+		}
+		results[i] = Result{
+			TimeSec:      cycles / (cfg.FreqGHz * 1e9),
+			Cycles:       cycles,
+			Instructions: w.Instructions(),
+			DRAMBytes:    bytes,
+			L2MissRate:   l2Stats[i].MissRate(),
+			TLBMissRate:  tlbStats[i].MissRate(),
+			SMShare:      smShare,
+		}
+		if cycles > 0 {
+			results[i].IPC = float64(w.Instructions()) / cycles
+		}
+	}
+	return results, nil
+}
+
+// BagTime returns the makespan of a concurrent run: the paper's prediction
+// target for a bag of tasks.
+func BagTime(results []Result) float64 {
+	var max float64
+	for _, r := range results {
+		if r.TimeSec > max {
+			max = r.TimeSec
+		}
+	}
+	return max
+}
+
+// bandwidthShares apportions device DRAM bandwidth among MPS clients with
+// max-min fairness (see memsim.Waterfill).
+func bandwidthShares(cfg Config, prelim []Result, traffic []float64) []float64 {
+	demand := make([]float64, len(prelim))
+	for i := range prelim {
+		t := prelim[i].Cycles / (cfg.FreqGHz * 1e9)
+		if t > 0 {
+			demand[i] = traffic[i] / t
+		}
+	}
+	return memsim.Waterfill(cfg.DRAMBandwidth, demand)
+}
+
+// PhaseTiming reports one kernel's simulated timing decomposition.
+type PhaseTiming struct {
+	Name          string
+	ComputeCycles float64 // pipe-roofline bound including divergence
+	StallCycles   float64 // memory-latency bound
+	TotalCycles   float64 // binding bound plus scheduling tax and launch
+	Occupancy     float64
+	L2MissRate    float64
+	TLBMissRate   float64
+}
+
+// PhaseBreakdown retraces one client of a Run configuration and returns its
+// per-kernel timing decomposition — the explainability hook used by the
+// examples and ablation benches. workloads must match the Run call being
+// explained; client selects the member to decompose.
+func PhaseBreakdown(cfg Config, workloads []*trace.Workload, client int) ([]PhaseTiming, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if client < 0 || client >= len(workloads) {
+		return nil, fmt.Errorf("gpusim: client %d out of range", client)
+	}
+	for i, w := range workloads {
+		if w == nil {
+			return nil, fmt.Errorf("gpusim: workload %d is nil", i)
+		}
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("gpusim: workload %d: %w", i, err)
+		}
+	}
+	mem, _, _, err := simulateMemory(cfg, workloads)
+	if err != nil {
+		return nil, err
+	}
+	smShare := float64(cfg.SMs) / float64(len(workloads))
+	var out []PhaseTiming
+	appCyclesTraced(cfg, workloads[client], mem[client], smShare, len(workloads), 0, &out)
+	return out, nil
+}
+
+// appCycles times one app's kernels on its SM partition.
+func appCycles(cfg Config, w *trace.Workload, mem []phaseMem, smShare float64, clients int, bwShare float64) (float64, float64) {
+	return appCyclesTraced(cfg, w, mem, smShare, clients, bwShare, nil)
+}
+
+func appCyclesTraced(cfg Config, w *trace.Workload, mem []phaseMem, smShare float64, clients int, bwShare float64, timings *[]PhaseTiming) (float64, float64) {
+	var cycles, bytes float64
+	schedTax := 1 + cfg.SchedulerOverhead*float64(clients-1)
+	for pi := range w.Phases {
+		p := &w.Phases[pi]
+		m := mem[pi]
+
+		// Occupancy: threads resident on the partition vs. what latency
+		// hiding needs.
+		maxResident := smShare * float64(cfg.MaxThreadsPerSM)
+		threads := float64(p.Parallelism)
+		if threads > maxResident {
+			threads = maxResident
+		}
+		occupancy := threads / (smShare * float64(cfg.FullUtilThreads))
+		if occupancy > 1 {
+			occupancy = 1
+		}
+		if occupancy <= 0 {
+			occupancy = 1e-6
+		}
+
+		// Compute bound: per-category pipe roofline on the partition.
+		var portMax float64
+		var totalOps float64
+		for cat := isa.Category(0); cat < isa.NumCategories; cat++ {
+			nOps := float64(p.Counts[cat])
+			totalOps += nOps
+			if cat == isa.MEM && cfg.PatternCoalescing {
+				// Coalescing: warps accessing consecutive addresses
+				// issue one transaction per several threads.
+				nOps /= coalesceFactor(p.Pattern)
+			}
+			if c := nOps / (cfg.Throughput[cat] * smShare * occupancy); c > portMax {
+				portMax = c
+			}
+		}
+		// Divergence: branch-heavy kernels serialize warp lanes.
+		ctrlFrac := 0.0
+		if totalOps > 0 {
+			ctrlFrac = float64(p.Counts[isa.Control]) / totalOps
+		}
+		compute := portMax * (1 + cfg.DivergencePenalty*ctrlFrac)
+
+		// Memory bound: L2/TLB/DRAM latency, overlapped by MLP across
+		// the partition's warps.
+		// MLP scales with the partition size: fewer SMs sustain fewer
+		// outstanding misses.
+		refs := float64(p.MemRefs())
+		if cfg.PatternCoalescing {
+			// Coalesced warps issue fewer memory transactions, so the
+			// latency-bound path sees proportionally fewer stalls.
+			refs /= coalesceFactor(p.Pattern)
+		}
+		stall := refs * (m.l2Miss*cfg.DRAMLatency +
+			(1-m.l2Miss)*cfg.L2LatencyCycles*0.25 + // L2 hits partially hidden
+			m.tlbMiss*cfg.TLBMissCycles) / (cfg.MLP * smShare)
+		stall /= occupancyScale(occupancy)
+
+		phaseCycles := compute
+		if stall > phaseCycles {
+			phaseCycles = stall // latency-bound kernel
+		}
+		phaseCycles = phaseCycles*schedTax + cfg.KernelLaunchCycles*float64(p.LaunchCount())
+
+		phaseBytes := refs * m.l2Miss * memsim.LineSize
+		bytes += phaseBytes
+		if bwShare > 0 {
+			bwCycles := phaseBytes / bwShare * cfg.FreqGHz * 1e9
+			if bwCycles > phaseCycles {
+				phaseCycles = bwCycles
+			}
+		}
+		cycles += phaseCycles
+		if timings != nil {
+			*timings = append(*timings, PhaseTiming{
+				Name:          p.Name,
+				ComputeCycles: compute,
+				StallCycles:   stall,
+				TotalCycles:   phaseCycles,
+				Occupancy:     occupancy,
+				L2MissRate:    m.l2Miss,
+				TLBMissRate:   m.tlbMiss,
+			})
+		}
+	}
+	return cycles, bytes
+}
+
+// coalesceFactor returns how many same-warp accesses merge into one memory
+// transaction for each access pattern.
+func coalesceFactor(pat trace.Pattern) float64 {
+	switch pat {
+	case trace.Sequential:
+		return 8 // a 64B line serves eight 8B lanes
+	case trace.Windowed:
+		return 4
+	case trace.Strided:
+		return 2
+	default:
+		return 1 // scattered accesses do not coalesce
+	}
+}
+
+// occupancyScale converts occupancy into latency-hiding ability: fully
+// occupied SMs overlap misses well; sparse kernels expose raw latency.
+func occupancyScale(occ float64) float64 {
+	if occ > 1 {
+		return 1
+	}
+	if occ < 0.02 {
+		return 0.02
+	}
+	return occ
+}
+
+// simulateMemory interleaves every client's sampled reference stream into
+// the shared L2 and shared TLB, with periodic TLB flushes when more than
+// one client is resident.
+func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []memsim.CacheStats, []memsim.CacheStats, error) {
+	n := len(workloads)
+	l2, err := memsim.NewCache("gpul2", cfg.L2Bytes, cfg.L2Ways, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tlb, err := memsim.NewTLB(cfg.TLBEntries, n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	mem := make([][]phaseMem, n)
+	type tagged struct {
+		phase int
+		addr  uint64
+	}
+	streams := make([][]tagged, n)
+	for ai, w := range workloads {
+		mem[ai] = make([]phaseMem, len(w.Phases))
+		base := uint64(ai+1) << 40
+		for pi := range w.Phases {
+			p := &w.Phases[pi]
+			refs := p.MemRefs()
+			if refs == 0 {
+				continue
+			}
+			seed := memsim.StreamSeed("gpu", w.Benchmark, p.Name, fmt.Sprint(w.BatchSize), fmt.Sprint(ai))
+			st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			k := memsim.SampleRefs(refs)
+			for j := 0; j < k; j++ {
+				streams[ai] = append(streams[ai], tagged{phase: pi, addr: st.Next()})
+			}
+		}
+	}
+
+	// Interleave all clients proportionally; every reference consults the
+	// shared TLB then the shared L2.
+	idx := make([]int, n)
+	maxLen := 0
+	for ai := range streams {
+		if len(streams[ai]) > maxLen {
+			maxLen = len(streams[ai])
+		}
+	}
+	var issued int
+	phaseAcc := make([][]struct{ acc, l2m, tlbm uint64 }, n)
+	for ai, w := range workloads {
+		phaseAcc[ai] = make([]struct{ acc, l2m, tlbm uint64 }, len(w.Phases))
+	}
+	for step := 0; step < maxLen; step++ {
+		for ai := range streams {
+			quota := (len(streams[ai])*(step+1))/maxLen - (len(streams[ai])*step)/maxLen
+			for q := 0; q < quota && idx[ai] < len(streams[ai]); q++ {
+				ref := streams[ai][idx[ai]]
+				idx[ai]++
+				issued++
+				if n > 1 && cfg.TLBFlushPeriod > 0 && issued%cfg.TLBFlushPeriod == 0 {
+					tlb.Flush()
+				}
+				pa := &phaseAcc[ai][ref.phase]
+				pa.acc++
+				if !tlb.Access(ai, ref.addr) {
+					pa.tlbm++
+				}
+				if !l2.Access(ai, ref.addr) {
+					pa.l2m++
+				}
+			}
+		}
+	}
+
+	for ai, w := range workloads {
+		for pi := range w.Phases {
+			pa := phaseAcc[ai][pi]
+			if pa.acc == 0 {
+				continue
+			}
+			mem[ai][pi].l2Miss = float64(pa.l2m) / float64(pa.acc)
+			mem[ai][pi].tlbMiss = float64(pa.tlbm) / float64(pa.acc)
+		}
+	}
+
+	l2Stats := make([]memsim.CacheStats, n)
+	tlbStats := make([]memsim.CacheStats, n)
+	for ai := 0; ai < n; ai++ {
+		l2Stats[ai] = l2.Stats(ai)
+		tlbStats[ai] = tlb.Stats(ai)
+	}
+	return mem, l2Stats, tlbStats, nil
+}

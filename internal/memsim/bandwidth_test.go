@@ -1,0 +1,85 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWaterfillUncongested(t *testing.T) {
+	shares := Waterfill(100, []float64{10, 20, 30})
+	for i, s := range shares {
+		if s != 100 {
+			t.Errorf("share[%d] = %v, want full pipe", i, s)
+		}
+	}
+}
+
+func TestWaterfillEqualSplitWhenAllHeavy(t *testing.T) {
+	shares := Waterfill(90, []float64{100, 100, 100})
+	for i, s := range shares {
+		if math.Abs(s-30) > 1e-9 {
+			t.Errorf("share[%d] = %v, want 30", i, s)
+		}
+	}
+}
+
+func TestWaterfillLightDemandSatisfied(t *testing.T) {
+	// Light client (5) keeps its demand; the two heavy ones split the rest.
+	shares := Waterfill(65, []float64{5, 100, 100})
+	if shares[0] != 5 {
+		t.Errorf("light share = %v, want 5", shares[0])
+	}
+	if math.Abs(shares[1]-30) > 1e-9 || math.Abs(shares[2]-30) > 1e-9 {
+		t.Errorf("heavy shares = %v, %v, want 30 each", shares[1], shares[2])
+	}
+}
+
+func TestWaterfillZeroDemand(t *testing.T) {
+	shares := Waterfill(10, []float64{0, 100})
+	if shares[0] != 10 {
+		t.Errorf("zero-demand client share = %v, want full pipe", shares[0])
+	}
+	if shares[1] != 10 {
+		t.Errorf("sole consumer share = %v, want 10", shares[1])
+	}
+}
+
+func TestWaterfillDegenerate(t *testing.T) {
+	if s := Waterfill(0, []float64{1}); s[0] != 0 {
+		t.Error("zero total should allocate nothing")
+	}
+	if s := Waterfill(10, nil); len(s) != 0 {
+		t.Error("empty demand should return empty shares")
+	}
+}
+
+func TestWaterfillConservation(t *testing.T) {
+	// Property: consumed bandwidth (min of share and demand) never
+	// exceeds the pipe when congested, and light clients are never
+	// squeezed below heavier ones' allocations.
+	if err := quick.Check(func(totalRaw uint16, demandRaw []uint16) bool {
+		if len(demandRaw) == 0 {
+			return true
+		}
+		total := float64(totalRaw%1000) + 1
+		demand := make([]float64, len(demandRaw))
+		var sum float64
+		for i, d := range demandRaw {
+			demand[i] = float64(d % 500)
+			sum += demand[i]
+		}
+		shares := Waterfill(total, demand)
+		var consumed float64
+		for i := range shares {
+			c := math.Min(shares[i], demand[i])
+			consumed += c
+		}
+		if sum <= total {
+			return math.Abs(consumed-sum) < 1e-6
+		}
+		return consumed <= total*(1+1e-9)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package memsim provides the microarchitectural memory-system components
+// shared by the CPU and GPU simulators: set-associative caches with LRU
+// replacement, a TLB with flush support, and a synthetic address-stream
+// generator that turns a trace.Phase's pattern/footprint/reuse descriptor
+// into a concrete reference stream.
+//
+// These components replace the paper's physical memory hierarchies (Xeon
+// LLC, T4 L2/TLB). Contention between concurrent applications emerges the
+// same way it does in hardware: interleaved streams from different sources
+// evict each other's lines from shared structures.
+package memsim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LineSize is the cache line size in bytes used throughout the simulators.
+const LineSize = 64
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// per-source hit/miss statistics so shared caches can attribute interference
+// to individual applications. The zero value is not usable; call NewCache.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	setShift uint
+	setMask  uint64
+	// tags[set*ways+way] holds the line tag; valid bit is tracked
+	// separately so tag 0 is usable.
+	tags  []uint64
+	valid []bool
+	// src[set*ways+way] records which source installed the line, for
+	// inter-source eviction accounting.
+	src []int
+	// lru[set*ways+way] is a per-set logical clock; the smallest value in
+	// a set is the LRU way.
+	lru   []uint64
+	clock uint64
+
+	stats []CacheStats // indexed by source id
+	// evictions[victim] counts lines lost to any other source.
+	crossEvictions []uint64
+}
+
+// CacheStats accumulates per-source access results.
+type CacheStats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an idle source.
+func (s CacheStats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// NewCache builds a cache of totalBytes capacity and the given
+// associativity, serving up to nSources distinct requestors.
+func NewCache(name string, totalBytes int64, ways, nSources int) (*Cache, error) {
+	if totalBytes <= 0 || ways <= 0 || nSources <= 0 {
+		return nil, fmt.Errorf("memsim: invalid cache config %q (bytes=%d ways=%d sources=%d)",
+			name, totalBytes, ways, nSources)
+	}
+	lines := totalBytes / LineSize
+	if lines < int64(ways) {
+		return nil, fmt.Errorf("memsim: cache %q too small for %d ways", name, ways)
+	}
+	sets := int(lines) / ways
+	// Round sets down to a power of two for mask indexing.
+	if sets&(sets-1) != 0 {
+		sets = 1 << (bits.Len(uint(sets)) - 1)
+	}
+	c := &Cache{
+		name:           name,
+		sets:           sets,
+		ways:           ways,
+		setShift:       uint(bits.TrailingZeros(uint(LineSize))),
+		setMask:        uint64(sets - 1),
+		tags:           make([]uint64, sets*ways),
+		valid:          make([]bool, sets*ways),
+		src:            make([]int, sets*ways),
+		lru:            make([]uint64, sets*ways),
+		stats:          make([]CacheStats, nSources),
+		crossEvictions: make([]uint64, nSources),
+	}
+	return c, nil
+}
+
+// Access looks up addr on behalf of source, installing the line on a miss.
+// It returns true on a hit.
+func (c *Cache) Access(source int, addr uint64) bool {
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> uint(bits.Len(uint(c.sets-1)))
+	base := set * c.ways
+	c.clock++
+	c.stats[source].Accesses++
+
+	lruWay, lruClock := 0, ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.lru[i] = c.clock
+			return true
+		}
+		if c.lru[i] < lruClock {
+			lruClock = c.lru[i]
+			lruWay = w
+		}
+	}
+	// Miss: install over the LRU way.
+	c.stats[source].Misses++
+	i := base + lruWay
+	if c.valid[i] && c.src[i] != source {
+		c.crossEvictions[c.src[i]]++
+	}
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.src[i] = source
+	c.lru[i] = c.clock
+	return false
+}
+
+// Stats returns the accumulated statistics for source.
+func (c *Cache) Stats(source int) CacheStats { return c.stats[source] }
+
+// CrossEvictions returns how many of source's lines were evicted by other
+// sources — the direct measure of destructive interference.
+func (c *Cache) CrossEvictions(source int) uint64 { return c.crossEvictions[source] }
+
+// Reset clears contents and statistics, keeping the geometry.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	for i := range c.stats {
+		c.stats[i] = CacheStats{}
+		c.crossEvictions[i] = 0
+	}
+	c.clock = 0
+}
+
+// Sets returns the number of sets (exported for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// CapacityBytes returns the rounded capacity actually simulated.
+func (c *Cache) CapacityBytes() int64 { return int64(c.sets) * int64(c.ways) * LineSize }

@@ -1,0 +1,112 @@
+package memsim
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"mapc/internal/trace"
+	"mapc/internal/xrand"
+)
+
+// Stream generates a deterministic synthetic address stream realizing a
+// phase's access descriptor (pattern, footprint, stride, reuse). The CPU
+// and GPU simulators sample a bounded number of references per phase
+// through the cache/TLB models and extrapolate the resulting miss ratios to
+// the phase's full reference count — the standard sampled-simulation
+// technique.
+type Stream struct {
+	rng       *xrand.Rand
+	base      uint64
+	footprint uint64
+	pattern   trace.Pattern
+	stride    uint64
+	reuse     float64
+	cursor    uint64
+	window    uint64
+	recent    [16]uint64
+	recentN   int
+}
+
+// NewStream builds a stream for phase p. base separates the address spaces
+// of different applications (and of different phases' heaps); seed makes the
+// stochastic components reproducible.
+func NewStream(p *trace.Phase, base uint64, seed uint64) (*Stream, error) {
+	if p == nil {
+		return nil, fmt.Errorf("memsim: nil phase")
+	}
+	fp := uint64(p.Footprint)
+	if fp < LineSize {
+		fp = LineSize
+	}
+	stride := uint64(p.StrideBytes)
+	if stride == 0 {
+		stride = 8
+	}
+	return &Stream{
+		rng:       xrand.New(seed),
+		base:      base,
+		footprint: fp,
+		pattern:   p.Pattern,
+		stride:    stride,
+		reuse:     p.Reuse,
+		window:    4096, // sliding-window extent for Windowed phases
+	}, nil
+}
+
+// StreamSeed derives a reproducible stream seed from identifying strings.
+func StreamSeed(parts ...string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// Next returns the next reference address.
+func (s *Stream) Next() uint64 {
+	// Temporal-reuse short-circuit: re-touch a recently used address.
+	if s.recentN > 0 && s.rng.Float64() < s.reuse {
+		return s.recent[s.rng.Intn(s.recentN)]
+	}
+	var addr uint64
+	switch s.pattern {
+	case trace.Sequential:
+		addr = s.base + s.cursor%s.footprint
+		s.cursor += 8
+	case trace.Strided:
+		addr = s.base + s.cursor%s.footprint
+		s.cursor += s.stride
+	case trace.Windowed:
+		// The window's origin advances sequentially; accesses scatter
+		// within it, capturing sliding-filter locality.
+		origin := s.cursor % s.footprint
+		off := uint64(s.rng.Intn(int(s.window)))
+		addr = s.base + (origin+off)%s.footprint
+		s.cursor += 8
+	default: // trace.Random
+		addr = s.base + s.rng.Uint64()%s.footprint
+	}
+	s.remember(addr)
+	return addr
+}
+
+func (s *Stream) remember(addr uint64) {
+	if s.recentN < len(s.recent) {
+		s.recent[s.recentN] = addr
+		s.recentN++
+		return
+	}
+	s.recent[s.rng.Intn(len(s.recent))] = addr
+}
+
+// SampleRefs chooses how many references to simulate for a phase with the
+// given total reference count: enough to warm the structures and resolve
+// the miss ratio, capped to keep dataset generation fast.
+func SampleRefs(total uint64) int {
+	const cap = 24576
+	if total < cap {
+		return int(total)
+	}
+	return cap
+}

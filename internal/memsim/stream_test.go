@@ -1,0 +1,120 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mapc/internal/trace"
+)
+
+func phaseWith(p trace.Pattern, footprint int64, reuse float64) *trace.Phase {
+	return &trace.Phase{
+		Name: "p", Footprint: footprint, Pattern: p, StrideBytes: 128,
+		Reuse: reuse, Parallelism: 1, VectorWidth: 1,
+	}
+}
+
+func TestStreamDeterminism(t *testing.T) {
+	for _, pat := range []trace.Pattern{trace.Sequential, trace.Strided, trace.Windowed, trace.Random} {
+		a, err := NewStream(phaseWith(pat, 1<<16, 0.3), 0, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewStream(phaseWith(pat, 1<<16, 0.3), 0, 42)
+		for i := 0; i < 1000; i++ {
+			if a.Next() != b.Next() {
+				t.Fatalf("%v stream diverged at step %d", pat, i)
+			}
+		}
+	}
+}
+
+func TestStreamAddressesWithinFootprint(t *testing.T) {
+	if err := quick.Check(func(seed uint64, patRaw uint8, fpRaw uint16) bool {
+		pat := trace.Pattern(int(patRaw) % 4)
+		fp := int64(fpRaw)%(1<<15) + LineSize
+		base := uint64(1) << 40
+		s, err := NewStream(phaseWith(pat, fp, 0.4), base, seed)
+		if err != nil {
+			return false
+		}
+		// Footprint is rounded up to at least a line inside NewStream.
+		limit := uint64(fp)
+		if limit < LineSize {
+			limit = LineSize
+		}
+		for i := 0; i < 300; i++ {
+			a := s.Next()
+			if a < base || a >= base+limit {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamNilPhase(t *testing.T) {
+	if _, err := NewStream(nil, 0, 1); err == nil {
+		t.Fatal("nil phase accepted")
+	}
+}
+
+func TestSequentialStreamAdvances(t *testing.T) {
+	s, err := NewStream(phaseWith(trace.Sequential, 1<<20, 0), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.Next()
+	for i := 0; i < 100; i++ {
+		next := s.Next()
+		if next != prev+8 {
+			t.Fatalf("sequential step %d: %d -> %d", i, prev, next)
+		}
+		prev = next
+	}
+}
+
+func TestReuseRaisesHitRate(t *testing.T) {
+	// A high-reuse random stream must hit a small cache more often than
+	// a no-reuse stream over the same large footprint.
+	run := func(reuse float64) float64 {
+		c, err := NewCache("c", 8<<10, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewStream(phaseWith(trace.Random, 8<<20, reuse), 0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20000; i++ {
+			c.Access(0, s.Next())
+		}
+		return c.Stats(0).MissRate()
+	}
+	if noReuse, highReuse := run(0), run(0.8); highReuse >= noReuse {
+		t.Fatalf("reuse did not reduce misses: %.3f vs %.3f", highReuse, noReuse)
+	}
+}
+
+func TestSampleRefs(t *testing.T) {
+	if got := SampleRefs(100); got != 100 {
+		t.Errorf("SampleRefs(100) = %d", got)
+	}
+	if got := SampleRefs(1 << 40); got <= 0 || got > 1<<20 {
+		t.Errorf("SampleRefs(huge) = %d", got)
+	}
+}
+
+func TestStreamSeedDistinguishesParts(t *testing.T) {
+	a := StreamSeed("cpu", "sift", "phase")
+	b := StreamSeed("cpu", "sift", "phase2")
+	c := StreamSeed("cpusift", "", "phase") // separator must matter
+	if a == b || a == c {
+		t.Fatalf("seeds collide: %x %x %x", a, b, c)
+	}
+	if a != StreamSeed("cpu", "sift", "phase") {
+		t.Fatal("StreamSeed not deterministic")
+	}
+}

@@ -1,0 +1,95 @@
+package memsim
+
+import "fmt"
+
+// PageSize is the translation granule used by the TLB model.
+const PageSize = 4096
+
+// TLB is a fully-associative translation lookaside buffer with LRU
+// replacement and per-source statistics. GPUs share TLBs across MPS clients
+// (Section II of the paper), so entries from different applications evict
+// one another; Flush models the context-switch flushes the paper identifies
+// as a major multi-application overhead.
+type TLB struct {
+	entries int
+	pages   []uint64
+	srcs    []int
+	valid   []bool
+	lru     []uint64
+	clock   uint64
+	stats   []CacheStats
+	flushes uint64
+}
+
+// NewTLB builds a TLB with the given number of entries serving nSources.
+func NewTLB(entries, nSources int) (*TLB, error) {
+	if entries <= 0 || nSources <= 0 {
+		return nil, fmt.Errorf("memsim: invalid TLB config (entries=%d sources=%d)", entries, nSources)
+	}
+	return &TLB{
+		entries: entries,
+		pages:   make([]uint64, entries),
+		srcs:    make([]int, entries),
+		valid:   make([]bool, entries),
+		lru:     make([]uint64, entries),
+		stats:   make([]CacheStats, nSources),
+	}, nil
+}
+
+// Access translates addr for source, returning true on a TLB hit.
+// Different sources never share translations (separate address spaces under
+// MPS), so the (source, page) pair is the lookup key.
+func (t *TLB) Access(source int, addr uint64) bool {
+	page := addr / PageSize
+	t.clock++
+	t.stats[source].Accesses++
+	lruIdx, lruClock := 0, ^uint64(0)
+	for i := 0; i < t.entries; i++ {
+		if t.valid[i] && t.pages[i] == page && t.srcs[i] == source {
+			t.lru[i] = t.clock
+			return true
+		}
+		if t.lru[i] < lruClock {
+			lruClock = t.lru[i]
+			lruIdx = i
+		}
+	}
+	t.stats[source].Misses++
+	t.pages[lruIdx] = page
+	t.srcs[lruIdx] = source
+	t.valid[lruIdx] = true
+	t.lru[lruIdx] = t.clock
+	return false
+}
+
+// Flush invalidates every entry, modelling a full TLB shootdown at an MPS
+// context boundary, and counts the event.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.lru[i] = 0
+	}
+	t.flushes++
+}
+
+// Stats returns per-source access statistics.
+func (t *TLB) Stats(source int) CacheStats { return t.stats[source] }
+
+// Flushes returns how many full flushes occurred.
+func (t *TLB) Flushes() uint64 { return t.flushes }
+
+// Entries returns the TLB capacity in entries.
+func (t *TLB) Entries() int { return t.entries }
+
+// Reset clears contents and statistics.
+func (t *TLB) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.lru[i] = 0
+	}
+	for i := range t.stats {
+		t.stats[i] = CacheStats{}
+	}
+	t.clock = 0
+	t.flushes = 0
+}

@@ -1,0 +1,134 @@
+package ml
+
+import (
+	"fmt"
+
+	"mapc/internal/xrand"
+)
+
+// ModelFactory builds a fresh, unfitted model for each cross-validation
+// fold, so folds never leak state through a shared model.
+type ModelFactory func() Regressor
+
+// GroupResult is the outcome of evaluating one held-out group.
+type GroupResult struct {
+	// Group is the held-out label (a benchmark name in Figure 4).
+	Group string
+	// MeanRelErr is the mean relative error (%) over the group's points.
+	MeanRelErr float64
+	// PerPoint holds the individual relative errors (%).
+	PerPoint []float64
+	// Truth and Pred hold the raw target/prediction pairs.
+	Truth, Pred []float64
+}
+
+// LeaveOneGroupOut runs the paper's Figure-4 protocol: for every distinct
+// group (benchmark), train on all other groups and test on the held-out
+// one. It returns per-group results in first-appearance order.
+func LeaveOneGroupOut(d *Dataset, factory ModelFactory) ([]GroupResult, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Groups == nil {
+		return nil, fmt.Errorf("ml: LOOCV requires group labels")
+	}
+	var out []GroupResult
+	for _, g := range d.GroupNames() {
+		train, test, err := d.SplitByGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		model := factory()
+		if err := model.Fit(train); err != nil {
+			return nil, fmt.Errorf("ml: group %q: %w", g, err)
+		}
+		pred, err := model.PredictAll(test.X)
+		if err != nil {
+			return nil, fmt.Errorf("ml: group %q: %w", g, err)
+		}
+		perPoint, err := RelativeErrors(test.Y, pred)
+		if err != nil {
+			return nil, fmt.Errorf("ml: group %q: %w", g, err)
+		}
+		out = append(out, GroupResult{
+			Group:      g,
+			MeanRelErr: Mean(perPoint),
+			PerPoint:   perPoint,
+			Truth:      test.Y,
+			Pred:       pred,
+		})
+	}
+	return out, nil
+}
+
+// MeanOverGroups returns the mean of the per-group mean relative errors —
+// the "9%" summary statistic of Figure 4.
+func MeanOverGroups(results []GroupResult) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	var s float64
+	for _, r := range results {
+		s += r.MeanRelErr
+	}
+	return s / float64(len(results))
+}
+
+// KFold evaluates the model with k-fold cross-validation (shuffled
+// deterministically by seed) and returns the per-fold mean relative errors.
+func KFold(d *Dataset, k int, seed uint64, factory ModelFactory) ([]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 || k > d.Len() {
+		return nil, fmt.Errorf("ml: k=%d folds invalid for %d points", k, d.Len())
+	}
+	perm := xrand.New(seed).Perm(d.Len())
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	out := make([]float64, k)
+	for f := 0; f < k; f++ {
+		var trainIdx []int
+		for g := 0; g < k; g++ {
+			if g != f {
+				trainIdx = append(trainIdx, folds[g]...)
+			}
+		}
+		model := factory()
+		if err := model.Fit(d.Subset(trainIdx)); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		test := d.Subset(folds[f])
+		pred, err := model.PredictAll(test.X)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		mre, err := MeanRelativeError(test.Y, pred)
+		if err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", f, err)
+		}
+		out[f] = mre
+	}
+	return out, nil
+}
+
+// HoldOut trains on an (1-testFraction) share and evaluates on the rest —
+// the 80/20 protocol of Section V-D2. It returns the test mean relative
+// error.
+func HoldOut(d *Dataset, testFraction float64, seed uint64, factory ModelFactory) (float64, error) {
+	train, test, err := d.Split(testFraction, seed)
+	if err != nil {
+		return 0, err
+	}
+	model := factory()
+	if err := model.Fit(train); err != nil {
+		return 0, err
+	}
+	pred, err := model.PredictAll(test.X)
+	if err != nil {
+		return 0, err
+	}
+	return MeanRelativeError(test.Y, pred)
+}

@@ -1,0 +1,137 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mapc/internal/xrand"
+)
+
+// ForestRegressor is a bagged ensemble of regression trees with per-tree
+// random feature subspaces — a from-scratch random forest. It is not part
+// of the paper's evaluation (the paper argues for a single explainable
+// tree) but serves the model-comparison extension and downstream users who
+// prefer variance reduction over path explainability.
+type ForestRegressor struct {
+	// Trees is the ensemble size.
+	Trees int
+	// MaxDepth bounds each tree (0 = unbounded).
+	MaxDepth int
+	// MinSamplesLeaf is each tree's smallest leaf.
+	MinSamplesLeaf int
+	// FeatureFraction is the share of features each tree sees; 0 selects
+	// the sqrt(p)/p heuristic.
+	FeatureFraction float64
+	// Seed drives bootstrapping and subspace selection.
+	Seed uint64
+
+	trees    []*TreeRegressor
+	features [][]int // per-tree column subset
+	nFeature int
+	fitted   bool
+}
+
+// NewForestRegressor returns a 100-tree forest with default settings.
+func NewForestRegressor() *ForestRegressor {
+	return &ForestRegressor{Trees: 100, MinSamplesLeaf: 1, Seed: 1}
+}
+
+// Fit trains the ensemble on bootstrap resamples of d.
+func (f *ForestRegressor) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if f.Trees <= 0 {
+		return errors.New("ml: forest needs a positive tree count")
+	}
+	n := d.Len()
+	p := len(d.X[0])
+	frac := f.FeatureFraction
+	if frac <= 0 {
+		frac = math.Sqrt(float64(p)) / float64(p)
+	}
+	if frac > 1 {
+		return fmt.Errorf("ml: feature fraction %v exceeds 1", frac)
+	}
+	k := int(math.Ceil(frac * float64(p)))
+	if k < 1 {
+		k = 1
+	}
+
+	rng := xrand.New(f.Seed)
+	f.trees = make([]*TreeRegressor, f.Trees)
+	f.features = make([][]int, f.Trees)
+	f.nFeature = p
+	for ti := 0; ti < f.Trees; ti++ {
+		// Bootstrap rows.
+		sub := &Dataset{
+			X: make([][]float64, n),
+			Y: make([]float64, n),
+		}
+		// Random feature subspace.
+		perm := rng.Perm(p)
+		cols := append([]int(nil), perm[:k]...)
+		f.features[ti] = cols
+		for i := 0; i < n; i++ {
+			src := rng.Intn(n)
+			row := make([]float64, k)
+			for j, c := range cols {
+				row[j] = d.X[src][c]
+			}
+			sub.X[i] = row
+			sub.Y[i] = d.Y[src]
+		}
+		tree := NewTreeRegressor()
+		tree.MaxDepth = f.MaxDepth
+		tree.MinSamplesLeaf = f.MinSamplesLeaf
+		if err := tree.Fit(sub); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", ti, err)
+		}
+		f.trees[ti] = tree
+	}
+	f.fitted = true
+	return nil
+}
+
+// Predict averages the ensemble's predictions at x.
+func (f *ForestRegressor) Predict(x []float64) (float64, error) {
+	if !f.fitted {
+		return 0, errors.New("ml: forest not fitted")
+	}
+	if len(x) != f.nFeature {
+		return 0, fmt.Errorf("ml: feature vector width %d, forest expects %d", len(x), f.nFeature)
+	}
+	var sum float64
+	sub := make([]float64, 0, f.nFeature)
+	for ti, tree := range f.trees {
+		sub = sub[:0]
+		for _, c := range f.features[ti] {
+			sub = append(sub, x[c])
+		}
+		v, err := tree.Predict(sub)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum / float64(len(f.trees)), nil
+}
+
+// PredictAll predicts every row of X.
+func (f *ForestRegressor) PredictAll(X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		v, err := f.Predict(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Size returns the fitted ensemble size.
+func (f *ForestRegressor) Size() int { return len(f.trees) }
+
+var _ Regressor = (*ForestRegressor)(nil)

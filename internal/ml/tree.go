@@ -1,0 +1,332 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TreeRegressor is a CART regression tree with mean-squared-error splits —
+// the paper's predictor model (Section II-B3). Beyond Fit/Predict it exposes
+// the decision-path introspection used for the Figure 10-12 analyses.
+type TreeRegressor struct {
+	// MaxDepth bounds the tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesSplit is the smallest node size eligible for splitting.
+	MinSamplesSplit int
+	// MinSamplesLeaf is the smallest allowed leaf size.
+	MinSamplesLeaf int
+	// MinImpurityDecrease prunes splits whose weighted MSE reduction is
+	// below this threshold.
+	MinImpurityDecrease float64
+
+	nodes    []treeNode
+	nFeature int
+	fitted   bool
+}
+
+// treeNode is one node in the flattened tree. Leaves have feature == -1.
+type treeNode struct {
+	feature   int     // split feature, or -1 for leaves
+	threshold float64 // go left when x[feature] <= threshold
+	left      int     // child indices into nodes
+	right     int
+	value     float64 // node prediction (mean of targets)
+	samples   int
+	impurity  float64 // node MSE
+}
+
+// NewTreeRegressor returns a tree with the defaults used throughout the
+// reproduction: unbounded depth, leaves of at least one point, splits on at
+// least two.
+func NewTreeRegressor() *TreeRegressor {
+	return &TreeRegressor{MinSamplesSplit: 2, MinSamplesLeaf: 1}
+}
+
+// Fit builds the tree on the dataset.
+func (t *TreeRegressor) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if t.MinSamplesSplit < 2 {
+		t.MinSamplesSplit = 2
+	}
+	if t.MinSamplesLeaf < 1 {
+		t.MinSamplesLeaf = 1
+	}
+	t.nFeature = len(d.X[0])
+	t.nodes = t.nodes[:0]
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(d, idx, 0)
+	t.fitted = true
+	return nil
+}
+
+// build grows the subtree for the points in idx and returns its node index.
+func (t *TreeRegressor) build(d *Dataset, idx []int, depth int) int {
+	mean, mse := meanMSE(d.Y, idx)
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{
+		feature: -1, value: mean, samples: len(idx), impurity: mse,
+	})
+
+	if len(idx) < t.MinSamplesSplit || mse == 0 ||
+		(t.MaxDepth > 0 && depth >= t.MaxDepth) {
+		return self
+	}
+
+	// Zero-gain splits are allowed (as in scikit-learn): structure like
+	// XOR only reveals its gain one level deeper. MinImpurityDecrease,
+	// when set, prunes low-value splits.
+	feat, thresh, gain := t.bestSplit(d, idx, mse)
+	if feat < 0 || gain < t.MinImpurityDecrease || gain < -1e-9 {
+		return self
+	}
+
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinSamplesLeaf || len(right) < t.MinSamplesLeaf {
+		return self
+	}
+	l := t.build(d, left, depth+1)
+	r := t.build(d, right, depth+1)
+	t.nodes[self].feature = feat
+	t.nodes[self].threshold = thresh
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+// bestSplit scans every feature and candidate threshold for the split that
+// minimizes the weighted child MSE, returning the impurity decrease.
+func (t *TreeRegressor) bestSplit(d *Dataset, idx []int, parentMSE float64) (int, float64, float64) {
+	n := float64(len(idx))
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+
+	order := make([]int, len(idx))
+	for f := 0; f < t.nFeature; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return d.X[order[a]][f] < d.X[order[b]][f] })
+
+		// Prefix sums enable O(1) MSE evaluation at every cut point:
+		// MSE_left*nl + MSE_right*nr = (sumsq - sum²/nl) + ...
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += d.Y[i]
+			sumSqR += d.Y[i] * d.Y[i]
+		}
+		for k := 0; k+1 < len(order); k++ {
+			y := d.Y[order[k]]
+			sumL += y
+			sumSqL += y * y
+			sumR -= y
+			sumSqR -= y * y
+			xk := d.X[order[k]][f]
+			xn := d.X[order[k+1]][f]
+			if xk == xn {
+				continue // cannot cut between equal values
+			}
+			nl, nr := float64(k+1), n-float64(k+1)
+			if int(nl) < t.MinSamplesLeaf || int(nr) < t.MinSamplesLeaf {
+				continue
+			}
+			score := (sumSqL - sumL*sumL/nl) + (sumSqR - sumR*sumR/nr)
+			if score < bestScore {
+				bestScore = score
+				bestFeat = f
+				bestThresh = (xk + xn) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return -1, 0, 0
+	}
+	gain := parentMSE - bestScore/n
+	return bestFeat, bestThresh, gain
+}
+
+func meanMSE(y []float64, idx []int) (mean, mse float64) {
+	n := float64(len(idx))
+	if n == 0 {
+		return 0, 0
+	}
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	mean = sum / n
+	mse = sumSq/n - mean*mean
+	if mse < 0 {
+		mse = 0 // numeric guard
+	}
+	return mean, mse
+}
+
+// Predict returns the tree's prediction for one feature vector.
+func (t *TreeRegressor) Predict(x []float64) (float64, error) {
+	leaf, err := t.traverse(x, nil)
+	if err != nil {
+		return 0, err
+	}
+	return t.nodes[leaf].value, nil
+}
+
+// PredictAll predicts every row of X.
+func (t *TreeRegressor) PredictAll(X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		v, err := t.Predict(x)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// DecisionStep is one internal node visited while predicting a point.
+type DecisionStep struct {
+	// Feature is the index of the feature compared at this node.
+	Feature int
+	// Threshold is the comparison constant.
+	Threshold float64
+	// WentLeft records the branch taken (x[Feature] <= Threshold).
+	WentLeft bool
+}
+
+// DecisionPath returns the sequence of internal-node decisions made while
+// predicting x — the per-test-point paths analysed in Figures 10-12.
+func (t *TreeRegressor) DecisionPath(x []float64) ([]DecisionStep, error) {
+	var path []DecisionStep
+	if _, err := t.traverse(x, &path); err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+// traverse walks from the root to a leaf, optionally recording the path,
+// and returns the leaf's node index.
+func (t *TreeRegressor) traverse(x []float64, path *[]DecisionStep) (int, error) {
+	if !t.fitted {
+		return 0, errors.New("ml: tree not fitted")
+	}
+	if len(x) != t.nFeature {
+		return 0, fmt.Errorf("ml: feature vector width %d, tree expects %d", len(x), t.nFeature)
+	}
+	cur := 0
+	for {
+		nd := &t.nodes[cur]
+		if nd.feature < 0 {
+			return cur, nil
+		}
+		left := x[nd.feature] <= nd.threshold
+		if path != nil {
+			*path = append(*path, DecisionStep{
+				Feature: nd.feature, Threshold: nd.threshold, WentLeft: left,
+			})
+		}
+		if left {
+			cur = nd.left
+		} else {
+			cur = nd.right
+		}
+	}
+}
+
+// FeatureImportances returns impurity-based importances normalized to sum
+// to 1 (scikit-learn's definition): each split contributes its weighted
+// impurity decrease to its feature.
+func (t *TreeRegressor) FeatureImportances() ([]float64, error) {
+	if !t.fitted {
+		return nil, errors.New("ml: tree not fitted")
+	}
+	imp := make([]float64, t.nFeature)
+	total := float64(t.nodes[0].samples)
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		if nd.feature < 0 {
+			continue
+		}
+		l, r := &t.nodes[nd.left], &t.nodes[nd.right]
+		decrease := float64(nd.samples)*nd.impurity -
+			float64(l.samples)*l.impurity - float64(r.samples)*r.impurity
+		imp[nd.feature] += decrease / total
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp, nil
+}
+
+// NodeCount returns the number of nodes in the fitted tree.
+func (t *TreeRegressor) NodeCount() int { return len(t.nodes) }
+
+// Depth returns the depth of the fitted tree (a lone root has depth 0).
+func (t *TreeRegressor) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(n, d int) int
+	walk = func(n, d int) int {
+		nd := &t.nodes[n]
+		if nd.feature < 0 {
+			return d
+		}
+		l := walk(nd.left, d+1)
+		r := walk(nd.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	return walk(0, 0)
+}
+
+// Export renders the tree as indented text using the given feature names,
+// supporting the manual decision-path analysis of Section VI-C.
+func (t *TreeRegressor) Export(featureNames []string) string {
+	if len(t.nodes) == 0 {
+		return "(unfitted tree)"
+	}
+	var b strings.Builder
+	name := func(f int) string {
+		if f >= 0 && f < len(featureNames) {
+			return featureNames[f]
+		}
+		return fmt.Sprintf("x[%d]", f)
+	}
+	var walk func(n, depth int)
+	walk = func(n, depth int) {
+		nd := &t.nodes[n]
+		pad := strings.Repeat("  ", depth)
+		if nd.feature < 0 {
+			fmt.Fprintf(&b, "%sleaf value=%.6g samples=%d\n", pad, nd.value, nd.samples)
+			return
+		}
+		fmt.Fprintf(&b, "%sif %s <= %.6g (samples=%d):\n", pad, name(nd.feature), nd.threshold, nd.samples)
+		walk(nd.left, depth+1)
+		fmt.Fprintf(&b, "%selse:\n", pad)
+		walk(nd.right, depth+1)
+	}
+	walk(0, 0)
+	return b.String()
+}

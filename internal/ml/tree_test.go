@@ -1,0 +1,257 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mapc/internal/xrand"
+)
+
+func xorDataset() *Dataset {
+	// A dataset a single linear split cannot fit but a depth-2 tree can.
+	return &Dataset{
+		FeatureNames: []string{"x0", "x1"},
+		X: [][]float64{
+			{0, 0}, {0, 1}, {1, 0}, {1, 1},
+			{0.1, 0.1}, {0.1, 0.9}, {0.9, 0.1}, {0.9, 0.9},
+		},
+		Y: []float64{1, 5, 5, 1, 1, 5, 5, 1},
+	}
+}
+
+func TestTreeFitsTrainingDataExactly(t *testing.T) {
+	d := xorDataset()
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		got, err := tree.Predict(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-d.Y[i]) > 1e-12 {
+			t.Errorf("point %d predicted %v, want %v", i, got, d.Y[i])
+		}
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	d := &Dataset{
+		X: [][]float64{{1}, {2}, {3}},
+		Y: []float64{7, 7, 7},
+	}
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if tree.NodeCount() != 1 {
+		t.Errorf("constant target grew %d nodes", tree.NodeCount())
+	}
+	got, _ := tree.Predict([]float64{99})
+	if got != 7 {
+		t.Errorf("predicted %v", got)
+	}
+}
+
+func TestTreeStepFunctionRecovery(t *testing.T) {
+	// y = 10 for x < 0.5, else 20; the split threshold must land between
+	// the two clusters.
+	d := &Dataset{X: [][]float64{}, Y: []float64{}}
+	rng := xrand.New(3)
+	for i := 0; i < 50; i++ {
+		x := rng.Float64() * 0.4
+		d.X = append(d.X, []float64{x})
+		d.Y = append(d.Y, 10)
+		d.X = append(d.X, []float64{x + 0.6})
+		d.Y = append(d.Y, 20)
+	}
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct{ x, want float64 }{
+		{0.0, 10}, {0.3, 10}, {0.7, 20}, {1.0, 20},
+	} {
+		got, _ := tree.Predict([]float64{probe.x})
+		if got != probe.want {
+			t.Errorf("f(%v) = %v, want %v", probe.x, got, probe.want)
+		}
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("step function needed depth %d", tree.Depth())
+	}
+}
+
+func TestTreeMaxDepth(t *testing.T) {
+	d := xorDataset()
+	tree := NewTreeRegressor()
+	tree.MaxDepth = 1
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Depth(); got > 1 {
+		t.Fatalf("depth %d exceeds MaxDepth 1", got)
+	}
+}
+
+func TestTreeMinSamplesLeaf(t *testing.T) {
+	d := xorDataset()
+	tree := NewTreeRegressor()
+	tree.MinSamplesLeaf = 4
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf must hold >= 4 samples: with 8 points depth <= 1.
+	if tree.Depth() > 1 {
+		t.Fatalf("depth %d with MinSamplesLeaf=4 on 8 points", tree.Depth())
+	}
+}
+
+func TestTreePredictionsWithinTargetRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 20 + rng.Intn(40)
+		d := &Dataset{}
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			d.X = append(d.X, []float64{rng.Float64(), rng.Float64()})
+			y := rng.Float64()*100 - 50
+			d.Y = append(d.Y, y)
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+		tree := NewTreeRegressor()
+		if err := tree.Fit(d); err != nil {
+			return false
+		}
+		for i := 0; i < 30; i++ {
+			v, err := tree.Predict([]float64{rng.Float64() * 2, rng.Float64() * 2})
+			if err != nil || v < minY-1e-9 || v > maxY+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeDecisionPath(t *testing.T) {
+	d := xorDataset()
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	path, err := tree.DecisionPath([]float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) == 0 {
+		t.Fatal("empty decision path on a split tree")
+	}
+	for _, step := range path {
+		if step.Feature < 0 || step.Feature > 1 {
+			t.Errorf("path step uses feature %d", step.Feature)
+		}
+	}
+	// Replaying the path decisions must be consistent with the input.
+	x := []float64{0, 1}
+	for _, step := range path {
+		if (x[step.Feature] <= step.Threshold) != step.WentLeft {
+			t.Error("recorded branch contradicts the comparison")
+		}
+	}
+}
+
+func TestTreeFeatureImportances(t *testing.T) {
+	// Only feature 1 carries signal; importances must concentrate there.
+	d := &Dataset{
+		X: [][]float64{{5, 0}, {5, 1}, {5, 2}, {5, 3}, {5, 4}, {5, 5}},
+		Y: []float64{0, 0, 0, 10, 10, 10},
+	}
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := tree.FeatureImportances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp[0] != 0 {
+		t.Errorf("constant feature importance %v", imp[0])
+	}
+	if math.Abs(imp[1]-1) > 1e-9 {
+		t.Errorf("informative feature importance %v, want 1", imp[1])
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tree := NewTreeRegressor()
+	if _, err := tree.Predict([]float64{1}); err == nil {
+		t.Error("unfitted Predict succeeded")
+	}
+	if _, err := tree.DecisionPath([]float64{1}); err == nil {
+		t.Error("unfitted DecisionPath succeeded")
+	}
+	if _, err := tree.FeatureImportances(); err == nil {
+		t.Error("unfitted FeatureImportances succeeded")
+	}
+	if err := tree.Fit(&Dataset{}); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if err := tree.Fit(xorDataset()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Predict([]float64{1, 2, 3}); err == nil {
+		t.Error("wrong-width vector accepted")
+	}
+}
+
+func TestTreeExport(t *testing.T) {
+	tree := NewTreeRegressor()
+	if err := tree.Fit(xorDataset()); err != nil {
+		t.Fatal(err)
+	}
+	text := tree.Export([]string{"alpha", "beta"})
+	if !strings.Contains(text, "alpha") && !strings.Contains(text, "beta") {
+		t.Errorf("export mentions no feature names:\n%s", text)
+	}
+	if !strings.Contains(text, "leaf") {
+		t.Error("export has no leaves")
+	}
+	if got := (&TreeRegressor{}).Export(nil); !strings.Contains(got, "unfitted") {
+		t.Errorf("unfitted export = %q", got)
+	}
+}
+
+func TestTreePredictAll(t *testing.T) {
+	d := xorDataset()
+	tree := NewTreeRegressor()
+	if err := tree.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	preds, err := tree.PredictAll(d.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(d.X) {
+		t.Fatalf("got %d predictions", len(preds))
+	}
+}
+
+func TestMeanMSE(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	mean, mse := meanMSE(y, []int{0, 1, 2, 3})
+	if mean != 2.5 {
+		t.Errorf("mean = %v", mean)
+	}
+	if math.Abs(mse-1.25) > 1e-12 {
+		t.Errorf("mse = %v", mse)
+	}
+	if m, v := meanMSE(y, nil); m != 0 || v != 0 {
+		t.Errorf("empty meanMSE = %v, %v", m, v)
+	}
+}

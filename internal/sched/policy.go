@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"errors"
+
+	"mapc/internal/dataset"
+)
+
+// SerialFIFO runs one job at a time in arrival order — the no-concurrency
+// baseline (the GPU is never shared, so there is no interference and no
+// spatial-multiplexing benefit).
+type SerialFIFO struct{}
+
+// Name implements Policy.
+func (SerialFIFO) Name() string { return "serial-fifo" }
+
+// Pick implements Policy.
+func (SerialFIFO) Pick(_ *Scheduler, pending []Job) ([]int, error) {
+	return []int{0}, nil
+}
+
+// PairFIFO naively co-schedules adjacent arrivals — what an operator gets
+// by turning MPS on without any placement intelligence.
+type PairFIFO struct{}
+
+// Name implements Policy.
+func (PairFIFO) Name() string { return "pair-fifo" }
+
+// Pick implements Policy.
+func (PairFIFO) Pick(_ *Scheduler, pending []Job) ([]int, error) {
+	if len(pending) == 1 {
+		return []int{0}, nil
+	}
+	return []int{0, 1}, nil
+}
+
+// bagEstimator scores a candidate pair; PredictedPairing and OraclePairing
+// differ only in where the estimate comes from.
+type bagEstimator func(s *Scheduler, a, b dataset.Member) (float64, error)
+
+// greedyPair picks the pair whose estimated bag time minimizes wasted GPU
+// time relative to running its members serially; if no pair beats serial
+// execution, it runs the longest pending job alone. The benefit metric is
+// (serial sum - bag makespan), the GPU seconds the co-schedule saves.
+func greedyPair(s *Scheduler, pending []Job, estimate bagEstimator) ([]int, error) {
+	if len(pending) == 1 {
+		return []int{0}, nil
+	}
+	serial := make([]float64, len(pending))
+	for i, j := range pending {
+		_, gpuSec, err := s.gen.IsolatedTimes(j.Member)
+		if err != nil {
+			return nil, err
+		}
+		serial[i] = gpuSec
+	}
+	bestI, bestJ := -1, -1
+	bestSaving := 0.0
+	for i := 0; i < len(pending); i++ {
+		for j := i + 1; j < len(pending); j++ {
+			bag, err := estimate(s, pending[i].Member, pending[j].Member)
+			if err != nil {
+				return nil, err
+			}
+			if saving := serial[i] + serial[j] - bag; saving > bestSaving {
+				bestSaving = saving
+				bestI, bestJ = i, j
+			}
+		}
+	}
+	if bestI < 0 {
+		// No pair saves GPU time: drain the longest job alone.
+		longest := 0
+		for i := range serial {
+			if serial[i] > serial[longest] {
+				longest = i
+			}
+		}
+		return []int{longest}, nil
+	}
+	return []int{bestI, bestJ}, nil
+}
+
+// PredictedPairing uses the paper's trained predictor to estimate every
+// candidate bag and greedily launches the most beneficial pairing — the
+// use-case the paper's introduction argues for.
+type PredictedPairing struct{}
+
+// Name implements Policy.
+func (PredictedPairing) Name() string { return "predicted-pairing" }
+
+// Pick implements Policy.
+func (PredictedPairing) Pick(s *Scheduler, pending []Job) ([]int, error) {
+	if s.predictor == nil {
+		return nil, errors.New("sched: PredictedPairing needs a predictor")
+	}
+	return greedyPair(s, pending, func(s *Scheduler, a, b dataset.Member) (float64, error) {
+		return s.PredictBag(a, b)
+	})
+}
+
+// OraclePairing greedily pairs using measured bag times — the upper bound
+// on what any predictor-guided pairing can achieve with this heuristic.
+type OraclePairing struct{}
+
+// Name implements Policy.
+func (OraclePairing) Name() string { return "oracle-pairing" }
+
+// Pick implements Policy.
+func (OraclePairing) Pick(s *Scheduler, pending []Job) ([]int, error) {
+	return greedyPair(s, pending, func(s *Scheduler, a, b dataset.Member) (float64, error) {
+		return s.MeasureBag(a, b)
+	})
+}

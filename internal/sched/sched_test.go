@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+
+	"mapc/internal/core"
+	"mapc/internal/dataset"
+)
+
+var (
+	setupOnce sync.Once
+	schedCfg  dataset.Config
+	predictor *core.Predictor
+	setupErr  error
+)
+
+// setup trains a predictor on a reduced corpus once for the package.
+func setup(t *testing.T) (dataset.Config, *core.Predictor) {
+	t.Helper()
+	setupOnce.Do(func() {
+		schedCfg = dataset.DefaultConfig()
+		schedCfg.BatchSizes = []int{20, 40}
+		schedCfg.MixedPairs = 0
+		gen, err := dataset.NewGenerator(schedCfg)
+		if err != nil {
+			setupErr = err
+			return
+		}
+		corpus, err := gen.Generate()
+		if err != nil {
+			setupErr = err
+			return
+		}
+		predictor, setupErr = core.Train(corpus, core.SchemeFull, core.DefaultTreeParams())
+	})
+	if setupErr != nil {
+		t.Fatal(setupErr)
+	}
+	return schedCfg, predictor
+}
+
+func testQueue() []Job {
+	return []Job{
+		{ID: 0, Member: dataset.Member{Benchmark: "sift", Batch: 40}},
+		{ID: 1, Member: dataset.Member{Benchmark: "fast", Batch: 20}},
+		{ID: 2, Member: dataset.Member{Benchmark: "knn", Batch: 20}},
+		{ID: 3, Member: dataset.Member{Benchmark: "hog", Batch: 40}},
+		{ID: 4, Member: dataset.Member{Benchmark: "surf", Batch: 20}},
+		{ID: 5, Member: dataset.Member{Benchmark: "facedet", Batch: 40}},
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	cfg, p := setup(t)
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(nil, testQueue()); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := s.Run(SerialFIFO{}, nil); err == nil {
+		t.Error("empty queue accepted")
+	}
+}
+
+func TestSerialFIFO(t *testing.T) {
+	cfg, p := setup(t)
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := testQueue()
+	sch, err := s.Run(SerialFIFO{}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Batches != len(queue) {
+		t.Fatalf("serial used %d batches for %d jobs", sch.Batches, len(queue))
+	}
+	if len(sch.Outcomes) != len(queue) {
+		t.Fatalf("%d outcomes", len(sch.Outcomes))
+	}
+	// FIFO order: completion order matches arrival order.
+	for i := 1; i < len(sch.Outcomes); i++ {
+		if sch.Outcomes[i].Job.ID != queue[i].ID {
+			t.Errorf("outcome %d is job %d", i, sch.Outcomes[i].Job.ID)
+		}
+		if sch.Outcomes[i].Start < sch.Outcomes[i-1].Finish-1e-12 {
+			t.Errorf("serial jobs overlap at %d", i)
+		}
+		if sch.Outcomes[i].CoRan != nil {
+			t.Errorf("serial job %d has a co-runner", i)
+		}
+	}
+	if sch.Makespan <= 0 || sch.MeanTurnaround <= 0 {
+		t.Fatalf("metrics %+v", sch)
+	}
+	if sch.MeanTurnaround > sch.Makespan {
+		t.Error("mean turnaround exceeds makespan")
+	}
+}
+
+func TestPairFIFOUsesFewerBatches(t *testing.T) {
+	cfg, p := setup(t)
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := s.Run(PairFIFO{}, testQueue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Batches != 3 {
+		t.Fatalf("pair-fifo used %d batches for 6 jobs", sch.Batches)
+	}
+	paired := 0
+	for _, o := range sch.Outcomes {
+		if o.CoRan != nil {
+			paired++
+		}
+	}
+	if paired != 6 {
+		t.Errorf("%d outcomes have co-runners", paired)
+	}
+}
+
+func TestPredictedPairingBeatsSerial(t *testing.T) {
+	cfg, p := setup(t)
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queue := testQueue()
+	serial, err := s.Run(SerialFIFO{}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted, err := s.Run(PredictedPairing{}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := s.Run(OraclePairing{}, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spatial multiplexing must pay: prediction-guided pairing drains
+	// the queue faster than serial execution, and the oracle is at
+	// least as good as serial by construction.
+	if predicted.Makespan >= serial.Makespan {
+		t.Errorf("predicted pairing makespan %v not better than serial %v",
+			predicted.Makespan, serial.Makespan)
+	}
+	if oracle.Makespan > serial.Makespan*(1+1e-9) {
+		t.Errorf("oracle makespan %v worse than serial %v",
+			oracle.Makespan, serial.Makespan)
+	}
+	// The prediction should recover most of the oracle's benefit.
+	if gapO, gapP := serial.Makespan-oracle.Makespan, serial.Makespan-predicted.Makespan; gapP < gapO*0.5 {
+		t.Errorf("prediction recovers only %v of the oracle's %v saving", gapP, gapO)
+	}
+}
+
+func TestPredictedPairingNeedsPredictor(t *testing.T) {
+	cfg, _ := setup(t)
+	s, err := New(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(PredictedPairing{}, testQueue()); err == nil {
+		t.Fatal("predictor-less predicted pairing accepted")
+	}
+	// The oracle and FIFO policies work without a predictor.
+	if _, err := s.Run(OraclePairing{}, testQueue()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulerDeterminism(t *testing.T) {
+	cfg, p := setup(t)
+	s, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Run(PredictedPairing{}, testQueue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run(PredictedPairing{}, testQueue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Batches != b.Batches {
+		t.Fatal("scheduler not deterministic")
+	}
+}

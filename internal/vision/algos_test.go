@@ -1,0 +1,246 @@
+package vision
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests exercise the vision algorithms' functional behaviour — the
+// detectors must respond to the structures they are designed to find and
+// stay silent otherwise.
+
+func TestFASTFindsCornerOfSquare(t *testing.T) {
+	im := constantImage(40, 40, 50)
+	fillRect(im, 10, 10, 15, 15, 200) // high-contrast square: 4 corners
+	kps := NewFAST().detect(im, nil)
+	if len(kps) == 0 {
+		t.Fatal("no corners on a high-contrast square")
+	}
+	// At least one detection near a true corner.
+	corners := [][2]int{{10, 10}, {24, 10}, {10, 24}, {24, 24}}
+	found := false
+	for _, kp := range kps {
+		for _, c := range corners {
+			if absInt(kp.X-c[0]) <= 2 && absInt(kp.Y-c[1]) <= 2 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no detection near square corners; got %v", kps)
+	}
+}
+
+func TestFASTSilentOnFlatImage(t *testing.T) {
+	if kps := NewFAST().detect(constantImage(40, 40, 128), nil); len(kps) != 0 {
+		t.Fatalf("detected %d corners on a flat image", len(kps))
+	}
+}
+
+func TestFASTBrightnessOffsetInvariance(t *testing.T) {
+	im := SynthesizeImage(SceneTextured, 64, 64, 5)
+	kps1 := NewFAST().detect(im, nil)
+	shifted := im.Clone()
+	for i := range shifted.Pix {
+		shifted.Pix[i] += 10 // uniform brightness offset
+	}
+	kps2 := NewFAST().detect(shifted, nil)
+	if len(kps1) != len(kps2) {
+		t.Fatalf("corner count changed under brightness offset: %d -> %d", len(kps1), len(kps2))
+	}
+	for i := range kps1 {
+		if kps1[i].X != kps2[i].X || kps1[i].Y != kps2[i].Y {
+			t.Fatalf("corner %d moved under brightness offset", i)
+		}
+	}
+}
+
+func TestArcLen(t *testing.T) {
+	cases := []struct {
+		bits []bool
+		want int
+	}{
+		{make([]bool, 16), 0},
+		{[]bool{true, true, false, true}, 3}, // wraps: [3],[0],[1]
+		{[]bool{true, true, true, true}, 4},
+	}
+	for i, c := range cases {
+		if got := arcLen(c.bits); got != c.want {
+			t.Errorf("case %d: arcLen = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestHoGDescriptorShape(t *testing.T) {
+	h := NewHoG()
+	im := SynthesizeImage(SceneTextured, 96, 96, 3)
+	desc := h.Describe(im, nil)
+	cells := 96 / h.CellSize
+	wantBlocks := (cells - h.Block + 1) * (cells - h.Block + 1)
+	if len(desc) != wantBlocks {
+		t.Fatalf("blocks = %d, want %d", len(desc), wantBlocks)
+	}
+	for i, d := range desc {
+		if len(d) != h.Block*h.Block*h.Bins {
+			t.Fatalf("block %d has %d dims", i, len(d))
+		}
+		var ss float64
+		for _, v := range d {
+			ss += v * v
+		}
+		if ss > 1+1e-6 {
+			t.Fatalf("block %d norm² %v > 1 after L2 normalization", i, ss)
+		}
+	}
+}
+
+func TestSIFTFindsBlobs(t *testing.T) {
+	im := constantImage(96, 96, 100)
+	drawBlob(im, 30, 30, 4, 120)
+	drawBlob(im, 64, 60, 5, -90)
+	kps, descs := NewSIFT().DetectAndDescribe(im, nil)
+	if len(kps) == 0 {
+		t.Fatal("no keypoints on blob image")
+	}
+	if len(descs) != len(kps) {
+		t.Fatalf("%d descriptors for %d keypoints", len(descs), len(kps))
+	}
+	for i, d := range descs {
+		if len(d) != 128 {
+			t.Fatalf("descriptor %d has %d dims, want 128", i, len(d))
+		}
+	}
+}
+
+func TestSURFFindsBlobs(t *testing.T) {
+	im := constantImage(96, 96, 100)
+	drawBlob(im, 48, 48, 6, 150)
+	kps, descs := NewSURF().DetectAndDescribe(im, nil)
+	if len(kps) == 0 {
+		t.Fatal("no SURF keypoints on blob image")
+	}
+	for i, d := range descs {
+		if len(d) != 64 {
+			t.Fatalf("descriptor %d has %d dims, want 64", i, len(d))
+		}
+	}
+}
+
+func TestORBDescriptors(t *testing.T) {
+	im := SynthesizeImage(SceneTextured, 96, 96, 11)
+	kps, descs := NewORB().DetectAndDescribe(im, nil)
+	if len(kps) == 0 {
+		t.Fatal("ORB found no keypoints on textured scene")
+	}
+	if len(descs) != len(kps) {
+		t.Fatalf("%d descriptors for %d keypoints", len(descs), len(kps))
+	}
+	for i, d := range descs {
+		if len(d) != 4 {
+			t.Fatalf("descriptor %d has %d words, want 4 (256 bits)", i, len(d))
+		}
+	}
+	// Orientation must be a valid angle.
+	for i, kp := range kps {
+		if math.IsNaN(kp.Orientation) || kp.Orientation < -math.Pi || kp.Orientation > math.Pi {
+			t.Fatalf("keypoint %d orientation %v", i, kp.Orientation)
+		}
+	}
+}
+
+func TestFaceDetRespondsToFaces(t *testing.T) {
+	f := NewFaceDet()
+	faces := SynthesizeImage(SceneFaces, 96, 96, 21)
+	flat := constantImage(96, 96, 128)
+	nFaces := len(f.Detect(faces, nil))
+	nFlat := len(f.Detect(flat, nil))
+	if nFaces <= nFlat {
+		t.Fatalf("cascade fired %d times on faces but %d on flat image", nFaces, nFlat)
+	}
+}
+
+func TestSVMTrainsAboveChance(t *testing.T) {
+	s := NewSVM()
+	images := []*Image{
+		SynthesizeImage(SceneTextured, 96, 96, 31),
+		SynthesizeImage(SceneTextured, 96, 96, 32),
+	}
+	summary, err := s.run(images, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := summary["trainAccuracy"]; acc <= 0.6 {
+		t.Fatalf("training accuracy %v at or below chance", acc)
+	}
+	if sv := summary["supportVectors"]; sv <= 0 {
+		t.Fatalf("no support vectors (%v)", sv)
+	}
+}
+
+func TestKNNClassifiesAllQueries(t *testing.T) {
+	k := NewKNN()
+	images := []*Image{SynthesizeImage(SceneObjects, 96, 96, 41)}
+	summary, err := k.run(images, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := summary["queries"]; q <= 0 {
+		t.Fatalf("no queries classified (%v)", q)
+	}
+}
+
+func TestObjRecMatches(t *testing.T) {
+	o := NewObjRec()
+	images := []*Image{SynthesizeImage(SceneObjects, 96, 96, 51)}
+	summary, err := o.run(images, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := summary["matches"]; !ok {
+		t.Fatal("no match statistics reported")
+	}
+}
+
+func TestSynthesizeImageDeterministic(t *testing.T) {
+	a := SynthesizeImage(SceneTextured, 32, 32, 9)
+	b := SynthesizeImage(SceneTextured, 32, 32, 9)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("same seed produced different images")
+		}
+	}
+	c := SynthesizeImage(SceneTextured, 32, 32, 10)
+	same := true
+	for i := range a.Pix {
+		if a.Pix[i] != c.Pix[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestSynthesizeImagePixelRange(t *testing.T) {
+	for _, kind := range []SceneKind{SceneTextured, SceneFaces, SceneObjects} {
+		im := SynthesizeImage(kind, 48, 48, 77)
+		for i, v := range im.Pix {
+			if v < 0 || v > 255 {
+				t.Fatalf("kind %v pixel %d = %v outside [0,255]", kind, i, v)
+			}
+		}
+	}
+}
+
+func TestImageAtClamped(t *testing.T) {
+	im := NewImage(4, 4)
+	im.Set(0, 0, 1)
+	im.Set(3, 3, 9)
+	if im.AtClamped(-5, -5) != 1 {
+		t.Error("negative coordinates not clamped to origin")
+	}
+	if im.AtClamped(100, 100) != 9 {
+		t.Error("overflow coordinates not clamped to corner")
+	}
+}

@@ -1,0 +1,181 @@
+package vision
+
+import (
+	"mapc/internal/trace"
+)
+
+// FaceDet implements Viola-Jones-style face detection: a cascade of stages
+// of Haar-like rectangle features evaluated over an integral image with a
+// sliding window at multiple scales. Windows must pass every stage to be
+// reported; early stages reject most windows cheaply, which produces the
+// branchy, integral-image-gather profile characteristic of the benchmark.
+type FaceDet struct {
+	BaseWindow int     // detector window side at scale 1
+	ScaleStep  float64 // multiplicative window growth per scale
+	Scales     int     // number of scales scanned
+	Stride     int     // window step in pixels
+	cascade    []haarStage
+}
+
+// haarFeature is a two- or three-rectangle contrast feature inside the unit
+// detector window; coordinates are fractions of the window size.
+type haarFeature struct {
+	// rects are (x, y, w, h, weight) in window-relative units.
+	rects  [][5]float64
+	thresh float64
+}
+
+// haarStage is one cascade stage: a weighted vote of features against a
+// stage threshold.
+type haarStage struct {
+	features []haarFeature
+	thresh   float64
+}
+
+// NewFaceDet returns a 4-stage cascade tuned for the synthetic face scenes.
+func NewFaceDet() *FaceDet {
+	f := &FaceDet{BaseWindow: 20, ScaleStep: 1.25, Scales: 4, Stride: 3}
+	// Hand-built stages mirroring the classic frontal-face cascade
+	// structure: eyes darker than forehead/cheeks, mouth band darker
+	// than chin, bridge brighter than eyes. Stage sizes grow (2, 4, 6,
+	// 10 features) so rejection cost is front-loaded, as in OpenCV's
+	// trained cascades.
+	eyeBand := haarFeature{rects: [][5]float64{
+		{0.1, 0.2, 0.8, 0.2, -1}, // eye band (dark)
+		{0.1, 0.0, 0.8, 0.2, 1},  // forehead (bright)
+	}, thresh: 2}
+	mouth := haarFeature{rects: [][5]float64{
+		{0.25, 0.7, 0.5, 0.15, -1}, // mouth (dark)
+		{0.25, 0.55, 0.5, 0.15, 1}, // upper lip area (bright)
+	}, thresh: 1}
+	bridge := haarFeature{rects: [][5]float64{
+		{0.4, 0.2, 0.2, 0.25, 1},   // nose bridge (bright)
+		{0.1, 0.2, 0.25, 0.25, -1}, // left eye
+	}, thresh: 1.5}
+	cheeks := haarFeature{rects: [][5]float64{
+		{0.1, 0.45, 0.8, 0.2, 1}, // cheeks (bright)
+		{0.1, 0.2, 0.8, 0.2, -1}, // eye band
+	}, thresh: 2}
+	f.cascade = []haarStage{
+		{features: []haarFeature{eyeBand, mouth}, thresh: 1.0},
+		{features: []haarFeature{eyeBand, mouth, bridge, cheeks}, thresh: 2.0},
+		{features: []haarFeature{eyeBand, mouth, bridge, cheeks, eyeBand, mouth}, thresh: 3.0},
+		{features: []haarFeature{eyeBand, bridge, mouth, cheeks, eyeBand, bridge, mouth, cheeks, eyeBand, mouth}, thresh: 5.0},
+	}
+	return f
+}
+
+// Name implements Benchmark.
+func (f *FaceDet) Name() string { return "facedet" }
+
+// Scene implements Benchmark.
+func (f *FaceDet) Scene() SceneKind { return SceneFaces }
+
+// Detection is one accepted window.
+type Detection struct {
+	X, Y, Size int
+	Score      float64
+}
+
+func (f *FaceDet) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var total int
+	for _, im := range images {
+		total += len(f.Detect(im, rec))
+	}
+	return map[string]float64{
+		"detections": float64(total) / float64(len(images)),
+	}, nil
+}
+
+// Detect runs the cascade over all scales and window positions.
+func (f *FaceDet) Detect(im *Image, rec *trace.Recorder) []Detection {
+	rec.BeginPhase("facedet-integral", im.Bytes()*2, trace.PhaseOpts{
+		Pattern:     trace.Sequential,
+		Reuse:       0.3,
+		Parallelism: im.H,
+		VectorWidth: 1,
+	})
+	it := NewIntegral(im, rec)
+	rec.EndPhase()
+
+	var out []Detection
+	var windows, featureEvals, rectLookups uint64
+	rec.BeginPhase("facedet-cascade", im.Bytes()*2, trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.6,
+		Parallelism: (im.W / f.Stride) * (im.H / f.Stride) * f.Scales,
+		VectorWidth: 1,
+	})
+	size := float64(f.BaseWindow)
+	for s := 0; s < f.Scales; s++ {
+		wsize := int(size)
+		if wsize >= im.W || wsize >= im.H {
+			break
+		}
+		for y := 0; y+wsize < im.H; y += f.Stride {
+			for x := 0; x+wsize < im.W; x += f.Stride {
+				windows++
+				score, evals, rects, ok := f.evalWindow(it, x, y, wsize)
+				featureEvals += evals
+				rectLookups += rects
+				if ok {
+					out = append(out, Detection{X: x, Y: y, Size: wsize, Score: score})
+				}
+			}
+		}
+		size *= f.ScaleStep
+	}
+	// Cascade cost: every rectangle lookup is a 4-corner integral-image
+	// gather plus weighting; stage logic is compare/branch heavy.
+	CountBoxSum(rec, rectLookups)
+	rec.FP(featureEvals * 3)
+	rec.ALU(featureEvals*2 + windows*4)
+	rec.Control(featureEvals*2 + windows*2)
+	rec.Shift(windows * 2)
+	rec.EndPhase()
+	return out
+}
+
+// evalWindow runs the cascade on one window, returning the summed stage
+// score, the number of features and rectangles evaluated, and acceptance.
+func (f *FaceDet) evalWindow(it *Integral, x, y, wsize int) (score float64, featureEvals, rectLookups uint64, ok bool) {
+	ws := float64(wsize)
+	area := ws * ws
+	// Normalize contrast by the window mean so bright scenes don't pass
+	// trivially.
+	mean := it.BoxSum(x, y, x+wsize, y+wsize) / area
+	rectLookups++
+	if mean < 1e-9 {
+		return 0, 1, rectLookups, false
+	}
+	for _, stage := range f.cascade {
+		var stageSum float64
+		for _, feat := range stage.features {
+			var v float64
+			for _, r := range feat.rects {
+				x0 := x + int(r[0]*ws)
+				y0 := y + int(r[1]*ws)
+				x1 := x0 + maxInt(1, int(r[2]*ws))
+				y1 := y0 + maxInt(1, int(r[3]*ws))
+				if x1 > it.W {
+					x1 = it.W
+				}
+				if y1 > it.H {
+					y1 = it.H
+				}
+				v += r[4] * it.BoxSum(x0, y0, x1, y1)
+				rectLookups++
+			}
+			featureEvals++
+			// Feature response normalized by window area and mean.
+			if v/(area*mean)*100 > feat.thresh {
+				stageSum++
+			}
+		}
+		score += stageSum
+		if stageSum < stage.thresh {
+			return score, featureEvals, rectLookups, false
+		}
+	}
+	return score, featureEvals, rectLookups, true
+}

@@ -1,0 +1,186 @@
+package vision
+
+import (
+	"mapc/internal/trace"
+)
+
+// FAST implements the FAST-9 corner detector (Rosten & Drummond): a pixel is
+// a corner when 9 contiguous pixels on the 16-pixel Bresenham circle of
+// radius 3 are all brighter or all darker than the centre by a threshold.
+// Detection is followed by non-maximum suppression on a corner score.
+type FAST struct {
+	// Threshold is the intensity difference required on the circle.
+	Threshold float64
+}
+
+// NewFAST returns the detector with the conventional threshold of 20.
+func NewFAST() *FAST { return &FAST{Threshold: 20} }
+
+// Name implements Benchmark.
+func (f *FAST) Name() string { return "fast" }
+
+// Scene implements Benchmark.
+func (f *FAST) Scene() SceneKind { return SceneTextured }
+
+// circle16 is the Bresenham circle of radius 3: 16 (dx, dy) offsets in
+// clockwise order starting from (0, -3).
+var circle16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// Keypoint is a detected interest point with a saliency score and, for
+// oriented detectors, an orientation in radians.
+type Keypoint struct {
+	X, Y        int
+	Score       float64
+	Orientation float64
+	Octave      int
+}
+
+func (f *FAST) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var totalCorners int
+	for _, im := range images {
+		kps := f.detect(im, rec)
+		totalCorners += len(kps)
+	}
+	return map[string]float64{
+		"corners": float64(totalCorners) / float64(len(images)),
+	}, nil
+}
+
+// detect runs segment test + NMS on one image under instrumentation.
+func (f *FAST) detect(im *Image, rec *trace.Recorder) []Keypoint {
+	w, h := im.W, im.H
+	interior := (w - 6) * (h - 6)
+	if interior < 1 {
+		interior = 1
+	}
+
+	// Phase 1: segment test over every interior pixel. Window accesses on
+	// the radius-3 circle, integer compares, highly branchy — the
+	// signature FAST profile (ALU/control heavy, no FP).
+	rec.BeginPhase("fast-segment-test", im.Bytes(), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.85,
+		Parallelism: interior,
+		VectorWidth: 1,
+	})
+	score := NewImage(w, h)
+	var candidates []Keypoint
+	var circleProbes uint64
+	for y := 3; y < h-3; y++ {
+		for x := 3; x < w-3; x++ {
+			c := im.At(x, y)
+			hi := c + f.Threshold
+			lo := c - f.Threshold
+
+			// Early-exit test on the 4 compass points: any 9-pixel
+			// contiguous arc covers at least 2 of them, so fewer than
+			// 2 passing points rules the pixel out.
+			nb, nd := 0, 0
+			for _, i := range [4]int{0, 4, 8, 12} {
+				v := im.At(x+circle16[i][0], y+circle16[i][1])
+				if v > hi {
+					nb++
+				} else if v < lo {
+					nd++
+				}
+			}
+			circleProbes += 4
+			if nb < 2 && nd < 2 {
+				continue
+			}
+
+			// Full segment test: longest contiguous arc above/below.
+			var bright, dark [16]bool
+			for i, off := range circle16 {
+				v := im.At(x+off[0], y+off[1])
+				bright[i] = v > hi
+				dark[i] = v < lo
+			}
+			circleProbes += 16
+			if arcLen(bright[:]) >= 9 || arcLen(dark[:]) >= 9 {
+				s := f.cornerScore(im, x, y)
+				score.Set(x, y, s)
+				candidates = append(candidates, Keypoint{X: x, Y: y, Score: s})
+			}
+		}
+	}
+	rec.Mem(circleProbes + uint64(interior)) // circle loads + centre loads
+	rec.ALU(circleProbes * 2)                // two compares per probe
+	rec.Control(circleProbes + uint64(interior))
+	rec.Shift(circleProbes) // 2-D offset addressing
+	rec.EndPhase()
+
+	// Phase 2: 3x3 non-maximum suppression over the candidates.
+	rec.BeginPhase("fast-nms", score.Bytes(), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.6,
+		Parallelism: maxInt(len(candidates), 1),
+		VectorWidth: 1,
+	})
+	var out []Keypoint
+	for _, kp := range candidates {
+		best := true
+		for dy := -1; dy <= 1 && best; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				if score.AtClamped(kp.X+dx, kp.Y+dy) > kp.Score {
+					best = false
+					break
+				}
+			}
+		}
+		if best {
+			out = append(out, kp)
+		}
+	}
+	n := uint64(len(candidates))
+	rec.Mem(n * 9)
+	rec.FP(n * 8) // score compares
+	rec.Control(n * 9)
+	rec.ALU(n * 4)
+	rec.EndPhase()
+	return out
+}
+
+// cornerScore is the sum of absolute differences between the centre and the
+// circle pixels that exceed the threshold — the standard FAST NMS score.
+func (f *FAST) cornerScore(im *Image, x, y int) float64 {
+	c := im.At(x, y)
+	var s float64
+	for _, off := range circle16 {
+		d := im.At(x+off[0], y+off[1]) - c
+		if d > f.Threshold || d < -f.Threshold {
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+	}
+	return s
+}
+
+// arcLen returns the longest run of true values in the circular sequence.
+func arcLen(b []bool) int {
+	n := len(b)
+	best, cur := 0, 0
+	// Walk twice around to capture wrap-around arcs, capped at n.
+	for i := 0; i < 2*n; i++ {
+		if b[i%n] {
+			cur++
+			if cur > best {
+				best = cur
+			}
+			if best >= n {
+				return n
+			}
+		} else {
+			cur = 0
+		}
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+package vision
+
+import (
+	"math"
+
+	"mapc/internal/trace"
+)
+
+// HoG computes Histogram-of-Oriented-Gradients descriptors (Dalal & Triggs):
+// per-pixel gradients, 9-bin orientation histograms over 8x8 cells with
+// bilinear bin interpolation, and L2-normalized 2x2-cell blocks.
+type HoG struct {
+	CellSize int // pixels per cell side
+	Bins     int // orientation bins over [0, pi)
+	Block    int // cells per block side
+}
+
+// NewHoG returns the canonical 8px/9bin/2x2 configuration.
+func NewHoG() *HoG { return &HoG{CellSize: 8, Bins: 9, Block: 2} }
+
+// Name implements Benchmark.
+func (h *HoG) Name() string { return "hog" }
+
+// Scene implements Benchmark.
+func (h *HoG) Scene() SceneKind { return SceneTextured }
+
+func (h *HoG) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var blocks int
+	var energy float64
+	for _, im := range images {
+		desc := h.Describe(im, rec)
+		blocks += len(desc)
+		for _, b := range desc {
+			for _, v := range b {
+				energy += v * v
+			}
+		}
+	}
+	n := float64(len(images))
+	return map[string]float64{
+		"blocks":     float64(blocks) / n,
+		"descEnergy": energy / n,
+	}, nil
+}
+
+// Describe returns the block descriptors (each Block*Block*Bins long) of im.
+func (h *HoG) Describe(im *Image, rec *trace.Recorder) [][]float64 {
+	// Phase 1: gradient magnitude/orientation for every pixel.
+	rec.BeginPhase("hog-gradients", im.Bytes()*3, trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.8,
+		Parallelism: im.W * im.H,
+		VectorWidth: simdWidth,
+	})
+	gx, gy := Sobel(im, rec)
+	mag := NewImage(im.W, im.H)
+	ang := NewImage(im.W, im.H)
+	for i := range mag.Pix {
+		dx, dy := gx.Pix[i], gy.Pix[i]
+		mag.Pix[i] = math.Sqrt(dx*dx + dy*dy)
+		a := math.Atan2(dy, dx)
+		if a < 0 {
+			a += math.Pi // unsigned orientation in [0, pi)
+		}
+		ang.Pix[i] = a
+	}
+	px := uint64(im.W * im.H)
+	rec.FP(px * 12) // sqrt+atan2 amortized cost
+	rec.Mem(px * 4)
+	rec.Control(px)
+	rec.EndPhase()
+
+	// Phase 2: cell histograms with linear bin interpolation.
+	cellsX := im.W / h.CellSize
+	cellsY := im.H / h.CellSize
+	rec.BeginPhase("hog-cell-histograms", int64(cellsX*cellsY*h.Bins*8)+im.Bytes()*2, trace.PhaseOpts{
+		Pattern:     trace.Strided,
+		StrideBytes: int64(h.CellSize * 8),
+		Reuse:       0.5,
+		Parallelism: cellsX * cellsY * h.CellSize * h.CellSize, // pixel-parallel with atomic bin updates
+		VectorWidth: 1,
+	})
+	hist := make([][]float64, cellsX*cellsY)
+	for i := range hist {
+		hist[i] = make([]float64, h.Bins)
+	}
+	binWidth := math.Pi / float64(h.Bins)
+	for cy := 0; cy < cellsY; cy++ {
+		for cx := 0; cx < cellsX; cx++ {
+			hh := hist[cy*cellsX+cx]
+			for py := 0; py < h.CellSize; py++ {
+				for pxx := 0; pxx < h.CellSize; pxx++ {
+					x := cx*h.CellSize + pxx
+					y := cy*h.CellSize + py
+					a := ang.At(x, y)
+					m := mag.At(x, y)
+					fb := a/binWidth - 0.5
+					b0 := int(math.Floor(fb))
+					frac := fb - float64(b0)
+					b1 := b0 + 1
+					if b0 < 0 {
+						b0 += h.Bins
+					}
+					if b1 >= h.Bins {
+						b1 -= h.Bins
+					}
+					hh[b0] += m * (1 - frac)
+					hh[b1] += m * frac
+				}
+			}
+		}
+	}
+	cpx := uint64(cellsX*cellsY) * uint64(h.CellSize*h.CellSize)
+	rec.FP(cpx * 6)
+	rec.Mem(cpx * 4)
+	rec.ALU(cpx * 3)
+	rec.Control(cpx * 2)
+	rec.Shift(cpx)
+	rec.EndPhase()
+
+	// Phase 3: block assembly + L2 normalization.
+	blocksX := cellsX - h.Block + 1
+	blocksY := cellsY - h.Block + 1
+	if blocksX < 0 {
+		blocksX = 0
+	}
+	if blocksY < 0 {
+		blocksY = 0
+	}
+	rec.BeginPhase("hog-block-normalize", int64(blocksX*blocksY*h.Block*h.Block*h.Bins*8), trace.PhaseOpts{
+		Pattern:     trace.Sequential,
+		Reuse:       0.6,
+		Parallelism: maxInt(blocksX*blocksY*h.Block*h.Block*h.Bins, 1), // element-parallel
+		VectorWidth: simdWidth,
+	})
+	out := make([][]float64, 0, blocksX*blocksY)
+	for by := 0; by < blocksY; by++ {
+		for bx := 0; bx < blocksX; bx++ {
+			desc := make([]float64, 0, h.Block*h.Block*h.Bins)
+			for dy := 0; dy < h.Block; dy++ {
+				for dx := 0; dx < h.Block; dx++ {
+					desc = append(desc, hist[(by+dy)*cellsX+bx+dx]...)
+				}
+			}
+			L2Normalize(desc, rec)
+			out = append(out, desc)
+		}
+	}
+	rec.Mem(uint64(len(out)) * uint64(h.Block*h.Block*h.Bins))
+	rec.Control(uint64(len(out)))
+	rec.EndPhase()
+	return out
+}

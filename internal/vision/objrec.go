@@ -1,0 +1,110 @@
+package vision
+
+import (
+	"mapc/internal/trace"
+)
+
+// ObjRec is the object-recognition pipeline of Table II: SIFT feature
+// extraction on the query image, descriptor matching against a gallery of
+// object models with Lowe's ratio test, and nearest-model voting. It chains
+// feature extraction and classification, giving it the suite's most mixed
+// instruction profile.
+type ObjRec struct {
+	Models    int     // number of reference object models
+	Ratio     float64 // Lowe ratio-test threshold
+	sift      *SIFT
+	modelDesc [][][]float64 // per-model descriptor sets, built lazily
+}
+
+// NewObjRec returns a 4-model recognizer.
+func NewObjRec() *ObjRec {
+	return &ObjRec{Models: 4, Ratio: 0.85, sift: NewSIFT()}
+}
+
+// Name implements Benchmark.
+func (o *ObjRec) Name() string { return "objrec" }
+
+// Scene implements Benchmark.
+func (o *ObjRec) Scene() SceneKind { return SceneObjects }
+
+func (o *ObjRec) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	// Build the model gallery once per run, uninstrumented: the original
+	// benchmark loads precomputed models from disk, so model construction
+	// is not part of the measured kernel.
+	if o.modelDesc == nil {
+		o.modelDesc = make([][][]float64, o.Models)
+		for m := 0; m < o.Models; m++ {
+			ref := SynthesizeImage(SceneObjects, DefaultImageSize, DefaultImageSize,
+				0x0B1EC7+uint64(m)*0x1111)
+			_, descs := o.sift.DetectAndDescribe(ref, nil)
+			o.modelDesc[m] = descs
+		}
+	}
+
+	var matched, votesWinner int
+	for _, im := range images {
+		// Query feature extraction (instrumented inside SIFT).
+		_, q := o.sift.DetectAndDescribe(im, rec)
+
+		// Matching + voting phase: dense distance computations against
+		// every model — big random-access footprint, vectorizable FP.
+		var galleryDescs int
+		for _, md := range o.modelDesc {
+			galleryDescs += len(md)
+		}
+		rec.BeginPhase("objrec-matching", int64((galleryDescs+len(q))*128*8), trace.PhaseOpts{
+			Pattern:     trace.Random,
+			Reuse:       0.2,
+			Parallelism: maxInt(len(q)*galleryDescs, 1),
+			VectorWidth: simdWidth,
+		})
+		votes := make([]int, o.Models)
+		for _, qd := range q {
+			model, ok := o.matchOne(qd, rec)
+			if ok {
+				votes[model]++
+				matched++
+			}
+		}
+		best := 0
+		for m := 1; m < o.Models; m++ {
+			if votes[m] > votes[best] {
+				best = m
+			}
+		}
+		votesWinner += best
+		rec.ALU(uint64(o.Models) * 2)
+		rec.Control(uint64(o.Models))
+		rec.EndPhase()
+	}
+	n := float64(len(images))
+	return map[string]float64{
+		"matches":   float64(matched) / n,
+		"voteCheck": float64(votesWinner),
+	}, nil
+}
+
+// matchOne finds the model owning the globally nearest descriptor, accepting
+// the match only if it passes the ratio test against the second-nearest.
+func (o *ObjRec) matchOne(q []float64, rec *trace.Recorder) (int, bool) {
+	best, second := 1e18, 1e18
+	bestModel := -1
+	for m, md := range o.modelDesc {
+		for _, d := range md {
+			dist := Dist2(q, d, rec)
+			if dist < best {
+				second = best
+				best = dist
+				bestModel = m
+			} else if dist < second {
+				second = dist
+			}
+		}
+	}
+	rec.Control(8)
+	rec.FP(4)
+	if bestModel < 0 || second <= 0 {
+		return 0, false
+	}
+	return bestModel, best < o.Ratio*o.Ratio*second
+}

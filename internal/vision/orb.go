@@ -1,0 +1,187 @@
+package vision
+
+import (
+	"math"
+	"sort"
+
+	"mapc/internal/trace"
+	"mapc/internal/xrand"
+)
+
+// ORB implements Oriented-FAST and Rotated-BRIEF (Rublee et al.): FAST
+// corners over an image pyramid, orientation by the intensity centroid, and
+// 256-bit steered BRIEF binary descriptors.
+type ORB struct {
+	Levels      int // pyramid levels
+	MaxFeatures int // features retained per image (score-ranked)
+	fast        *FAST
+	pattern     [256][4]int // (x1,y1,x2,y2) BRIEF test pairs
+}
+
+// NewORB returns a 3-level, 256-feature ORB.
+func NewORB() *ORB {
+	o := &ORB{Levels: 3, MaxFeatures: 256, fast: NewFAST()}
+	// The BRIEF sampling pattern: deterministic Gaussian-distributed test
+	// pairs inside a 31x31 patch, as in the reference implementation.
+	rng := xrand.New(0x0B21EF)
+	for i := range o.pattern {
+		for j := 0; j < 4; j++ {
+			v := int(rng.NormFloat64() * 6)
+			if v > 14 {
+				v = 14
+			} else if v < -14 {
+				v = -14
+			}
+			o.pattern[i][j] = v
+		}
+	}
+	return o
+}
+
+// Name implements Benchmark.
+func (o *ORB) Name() string { return "orb" }
+
+// Scene implements Benchmark.
+func (o *ORB) Scene() SceneKind { return SceneTextured }
+
+func (o *ORB) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var kpTotal int
+	var hammingCheck int
+	var prev [][]uint64
+	for _, im := range images {
+		kps, descs := o.DetectAndDescribe(im, rec)
+		kpTotal += len(kps)
+		// Match consecutive frames — the tracking use-case ORB serves.
+		if prev != nil && len(descs) > 0 {
+			rec.BeginPhase("orb-matching", int64(len(prev)+len(descs))*32, trace.PhaseOpts{
+				Pattern:     trace.Random,
+				Reuse:       0.3,
+				Parallelism: maxInt(len(prev)*len(descs), 1),
+				VectorWidth: 1,
+			})
+			hammingCheck += o.match(prev, descs, rec)
+			rec.EndPhase()
+		}
+		prev = descs
+	}
+	n := float64(len(images))
+	return map[string]float64{
+		"keypoints": float64(kpTotal) / n,
+		"matches":   float64(hammingCheck) / n,
+	}, nil
+}
+
+// DetectAndDescribe extracts oriented FAST keypoints and BRIEF descriptors.
+func (o *ORB) DetectAndDescribe(im *Image, rec *trace.Recorder) ([]Keypoint, [][]uint64) {
+	// Phase 1: pyramid construction.
+	rec.BeginPhase("orb-pyramid", im.Bytes()*2, trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.7,
+		Parallelism: im.W * im.H,
+		VectorWidth: simdWidth,
+	})
+	levels := make([]*Image, o.Levels)
+	levels[0] = ConvolveSeparable(im, GaussianKernel1D(1.0), rec)
+	for l := 1; l < o.Levels; l++ {
+		levels[l] = Downsample2x(levels[l-1], rec)
+	}
+	rec.EndPhase()
+
+	// Phase 2: FAST per level (instrumented inside detect).
+	var all []Keypoint
+	for l, lim := range levels {
+		kps := o.fast.detect(lim, rec)
+		for i := range kps {
+			kps[i].Octave = l
+		}
+		all = append(all, kps...)
+	}
+
+	// Phase 3: retain the strongest features, assign orientations by the
+	// intensity centroid, and build steered BRIEF descriptors. Random
+	// patch gathers: branch/ALU heavy with bit packing (shift/string).
+	sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	if len(all) > o.MaxFeatures {
+		all = all[:o.MaxFeatures]
+	}
+	// Footprint: the patches all overlap the pyramid level, so the phase
+	// touches the image plus the descriptor output and the test pattern.
+	// Parallelism: GPU BRIEF kernels assign a thread per descriptor word
+	// pair, 64 threads per keypoint.
+	rec.BeginPhase("orb-brief", im.Bytes()+int64(len(all))*32+256*16, trace.PhaseOpts{
+		Pattern:     trace.Random,
+		Reuse:       0.55,
+		Parallelism: maxInt(len(all)*64, 1),
+		VectorWidth: 1,
+	})
+	descs := make([][]uint64, len(all))
+	for i := range all {
+		lim := levels[all[i].Octave]
+		all[i].Orientation = intensityCentroidAngle(lim, all[i].X, all[i].Y, rec)
+		descs[i] = o.brief(lim, all[i], rec)
+	}
+	rec.EndPhase()
+	return all, descs
+}
+
+// intensityCentroidAngle returns atan2(m01, m10) of the patch moments — the
+// ORB orientation operator.
+func intensityCentroidAngle(im *Image, x, y int, rec *trace.Recorder) float64 {
+	var m01, m10 float64
+	for dy := -7; dy <= 7; dy++ {
+		for dx := -7; dx <= 7; dx++ {
+			v := im.AtClamped(x+dx, y+dy)
+			m10 += float64(dx) * v
+			m01 += float64(dy) * v
+		}
+	}
+	const px = 225
+	rec.Mem(px)
+	rec.FP(px * 4)
+	rec.Control(px)
+	rec.ALU(px * 2)
+	return math.Atan2(m01, m10)
+}
+
+// brief computes the 256-bit steered BRIEF descriptor as 4 uint64 words.
+func (o *ORB) brief(im *Image, kp Keypoint, rec *trace.Recorder) []uint64 {
+	desc := make([]uint64, 4)
+	cos, sin := math.Cos(kp.Orientation), math.Sin(kp.Orientation)
+	for i, p := range o.pattern {
+		// Rotate both test points by the keypoint orientation.
+		x1 := kp.X + int(cos*float64(p[0])-sin*float64(p[1]))
+		y1 := kp.Y + int(sin*float64(p[0])+cos*float64(p[1]))
+		x2 := kp.X + int(cos*float64(p[2])-sin*float64(p[3]))
+		y2 := kp.Y + int(sin*float64(p[2])+cos*float64(p[3]))
+		if im.AtClamped(x1, y1) < im.AtClamped(x2, y2) {
+			desc[i/64] |= 1 << uint(i%64)
+		}
+	}
+	rec.Mem(256 * 2)
+	rec.FP(256 * 8) // rotations
+	rec.ALU(256 * 2)
+	rec.Shift(256) // bit packing
+	rec.Str(256 / 8)
+	rec.Control(256)
+	return desc
+}
+
+// match counts cross-frame descriptor matches below a Hamming threshold.
+func (o *ORB) match(a, b [][]uint64, rec *trace.Recorder) int {
+	const maxDist = 64
+	matches := 0
+	for _, da := range a {
+		best := 257
+		for _, db := range b {
+			if d := HammingDistance(da, db, rec); d < best {
+				best = d
+			}
+		}
+		if best <= maxDist {
+			matches++
+		}
+	}
+	rec.Control(uint64(len(a) * len(b)))
+	rec.ALU(uint64(len(a) * len(b)))
+	return matches
+}

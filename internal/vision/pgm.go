@@ -1,0 +1,177 @@
+package vision
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mapc/internal/trace"
+)
+
+// PGM (portable graymap) I/O lets users run the benchmark suite on their
+// own images instead of the synthetic scenes. Both the binary (P5) and
+// ASCII (P2) variants are supported for reading; writing emits P5.
+
+// ReadPGM decodes a PGM image from r.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, fmt.Errorf("vision: reading PGM magic: %w", err)
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("vision: unsupported PGM magic %q", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("vision: PGM width: %w", err)
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("vision: PGM height: %w", err)
+	}
+	maxVal, err := pgmInt(br)
+	if err != nil {
+		return nil, fmt.Errorf("vision: PGM maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("vision: implausible PGM dimensions %dx%d", w, h)
+	}
+	if maxVal <= 0 || maxVal > 65535 {
+		return nil, fmt.Errorf("vision: invalid PGM maxval %d", maxVal)
+	}
+
+	im := NewImage(w, h)
+	scale := 255.0 / float64(maxVal)
+	switch magic {
+	case "P5":
+		bytesPer := 1
+		if maxVal > 255 {
+			bytesPer = 2
+		}
+		buf := make([]byte, w*h*bytesPer)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("vision: PGM pixel data: %w", err)
+		}
+		for i := 0; i < w*h; i++ {
+			var v int
+			if bytesPer == 1 {
+				v = int(buf[i])
+			} else {
+				v = int(buf[2*i])<<8 | int(buf[2*i+1])
+			}
+			im.Pix[i] = float64(v) * scale
+		}
+	case "P2":
+		for i := 0; i < w*h; i++ {
+			v, err := pgmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("vision: PGM pixel %d: %w", i, err)
+			}
+			im.Pix[i] = float64(v) * scale
+		}
+	}
+	return im, nil
+}
+
+// WritePGM encodes im as a binary (P5) PGM with 8-bit depth. Pixel values
+// are clamped to [0, 255].
+func WritePGM(w io.Writer, im *Image) error {
+	if im == nil || im.W <= 0 || im.H <= 0 {
+		return fmt.Errorf("vision: cannot encode empty image")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, len(im.Pix))
+	for i, v := range im.Pix {
+		switch {
+		case v < 0:
+			buf[i] = 0
+		case v > 255:
+			buf[i] = 255
+		default:
+			buf[i] = byte(v + 0.5)
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping '#' comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	inComment := false
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF && len(tok) > 0 {
+				return string(tok), nil
+			}
+			return "", err
+		}
+		switch {
+		case inComment:
+			if b == '\n' {
+				inComment = false
+			}
+		case b == '#':
+			inComment = true
+		case b == ' ' || b == '\t' || b == '\n' || b == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, b)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(tok)
+}
+
+// RunOnImages executes benchmark b on caller-supplied images (e.g. loaded
+// with ReadPGM) under instrumentation, returning the workload and summary.
+// Unlike Run, no sampling/extrapolation is applied: the workload describes
+// exactly the given batch.
+func RunOnImages(b Benchmark, images []*Image, rec bool) (*Result, error) {
+	if len(images) == 0 {
+		return nil, fmt.Errorf("vision: no images")
+	}
+	for i, im := range images {
+		if im == nil || im.W < 32 || im.H < 32 {
+			return nil, fmt.Errorf("vision: image %d too small (min 32x32)", i)
+		}
+	}
+	var recorder *trace.Recorder
+	if rec {
+		recorder = trace.NewRecorder(b.Name(), len(images))
+	}
+	summary, err := b.run(images, recorder)
+	if err != nil {
+		return nil, fmt.Errorf("vision: %s: %w", b.Name(), err)
+	}
+	res := &Result{Summary: summary}
+	if rec {
+		w, err := recorder.Workload()
+		if err != nil {
+			return nil, fmt.Errorf("vision: %s instrumentation: %w", b.Name(), err)
+		}
+		var bytes int64
+		for _, im := range images {
+			bytes += im.Bytes()
+		}
+		w.TransferBytes = bytes
+		res.Workload = w
+	}
+	return res, nil
+}

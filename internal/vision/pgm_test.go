@@ -1,0 +1,131 @@
+package vision
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	im := SynthesizeImage(SceneTextured, 48, 36, 5)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("round trip size %dx%d", got.W, got.H)
+	}
+	for i := range im.Pix {
+		if math.Abs(got.Pix[i]-im.Pix[i]) > 0.51 { // 8-bit quantization
+			t.Fatalf("pixel %d: %v -> %v", i, im.Pix[i], got.Pix[i])
+		}
+	}
+}
+
+func TestReadPGMASCII(t *testing.T) {
+	src := "P2\n# a comment\n3 2\n255\n0 128 255\n10 20 30\n"
+	im, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.W != 3 || im.H != 2 {
+		t.Fatalf("size %dx%d", im.W, im.H)
+	}
+	if im.At(1, 0) != 128 || im.At(2, 1) != 30 {
+		t.Fatalf("pixels %v", im.Pix)
+	}
+}
+
+func TestReadPGM16Bit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("P5\n2 1\n65535\n")
+	buf.Write([]byte{0xFF, 0xFF, 0x00, 0x00}) // 65535, 0
+	im, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(im.At(0, 0)-255) > 1e-9 || im.At(1, 0) != 0 {
+		t.Fatalf("16-bit pixels %v", im.Pix)
+	}
+}
+
+func TestReadPGMErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"P7\n2 2\n255\n",
+		"P5\n-3 2\n255\n",
+		"P5\n2 2\n0\n",
+		"P5\n2 2\n255\nX",       // truncated pixel data
+		"P2\n2 2\n255\n1 2 3\n", // not enough ASCII pixels
+	}
+	for i, c := range cases {
+		if _, err := ReadPGM(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestWritePGMClamps(t *testing.T) {
+	im := NewImage(2, 1)
+	im.Set(0, 0, -50)
+	im.Set(1, 0, 999)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0, 0) != 0 || got.At(1, 0) != 255 {
+		t.Fatalf("clamped pixels %v", got.Pix)
+	}
+	if err := WritePGM(&buf, nil); err == nil {
+		t.Error("nil image encoded")
+	}
+}
+
+func TestRunOnImages(t *testing.T) {
+	images := []*Image{
+		SynthesizeImage(SceneTextured, 64, 64, 1),
+		SynthesizeImage(SceneTextured, 64, 64, 2),
+	}
+	res, err := RunOnImages(NewFAST(), images, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload == nil {
+		t.Fatal("no workload recorded")
+	}
+	if res.Workload.BatchSize != 2 {
+		t.Errorf("batch size %d", res.Workload.BatchSize)
+	}
+	if res.Workload.TransferBytes != images[0].Bytes()+images[1].Bytes() {
+		t.Errorf("transfer bytes %d", res.Workload.TransferBytes)
+	}
+	// Uninstrumented mode.
+	res2, err := RunOnImages(NewFAST(), images, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Workload != nil {
+		t.Error("workload recorded without instrumentation")
+	}
+	if len(res2.Summary) == 0 {
+		t.Error("no summary")
+	}
+}
+
+func TestRunOnImagesValidation(t *testing.T) {
+	if _, err := RunOnImages(NewFAST(), nil, true); err == nil {
+		t.Error("empty image list accepted")
+	}
+	if _, err := RunOnImages(NewFAST(), []*Image{NewImage(4, 4)}, true); err == nil {
+		t.Error("tiny image accepted")
+	}
+}

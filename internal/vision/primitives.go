@@ -1,0 +1,262 @@
+package vision
+
+import (
+	"math"
+
+	"mapc/internal/trace"
+)
+
+// This file contains the instrumented image-processing primitives shared by
+// the benchmarks. Each primitive performs the real computation and reports
+// aggregate dynamic instruction counts to the recorder (the PIN analogue).
+// Counting conventions, applied uniformly:
+//
+//   - one FP count per scalar floating-point add/mul/compare;
+//   - vectorizable inner loops report floor(ops/vw) SSE ops plus the scalar
+//     remainder as FP/ALU, where vw is the natural SIMD width (4 doubles);
+//   - one MEM count per array element load or store;
+//   - one ALU count per scalar integer add/sub/logic;
+//   - one Shift count per multiply/shift used in addressing or fixed-point;
+//   - one Control count per loop-back branch or data-dependent branch;
+//   - Stack counts for per-call frame traffic in recursion-heavy code.
+//
+// The counts are accumulated per primitive call rather than per executed
+// instruction, which keeps instrumentation overhead negligible while
+// preserving the relative mix that MICA would report.
+
+const simdWidth = 4
+
+// vectorized splits n identical float ops into packed and scalar parts.
+func vectorized(r *trace.Recorder, n uint64) {
+	r.SSE(n / simdWidth)
+	r.FP(n % simdWidth)
+}
+
+// GaussianKernel1D returns a normalized 1-D Gaussian kernel with the given
+// sigma; the radius is ceil(2.5*sigma).
+func GaussianKernel1D(sigma float64) []float64 {
+	if sigma <= 0 {
+		return []float64{1}
+	}
+	radius := int(math.Ceil(2.5 * sigma))
+	k := make([]float64, 2*radius+1)
+	var sum float64
+	inv := 1 / (2 * sigma * sigma)
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) * inv)
+		k[i+radius] = v
+		sum += v
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// ConvolveSeparable applies the 1-D kernel horizontally then vertically
+// (clamped borders), returning a new image. This is the workhorse of the
+// Gaussian scale-space construction in SIFT/SURF/HoG preprocessing.
+func ConvolveSeparable(im *Image, kernel []float64, r *trace.Recorder) *Image {
+	tmp := NewImage(im.W, im.H)
+	out := NewImage(im.W, im.H)
+	radius := len(kernel) / 2
+
+	// Horizontal pass.
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var acc float64
+			for i := -radius; i <= radius; i++ {
+				acc += kernel[i+radius] * im.AtClamped(x+i, y)
+			}
+			tmp.Set(x, y, acc)
+		}
+	}
+	// Vertical pass.
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			var acc float64
+			for i := -radius; i <= radius; i++ {
+				acc += kernel[i+radius] * tmp.AtClamped(x, y+i)
+			}
+			out.Set(x, y, acc)
+		}
+	}
+
+	n := uint64(im.W*im.H) * uint64(len(kernel)) * 2 // two passes
+	vectorized(r, 2*n)                               // mul + add per tap
+	r.Mem(n + 2*uint64(im.W*im.H))                   // tap loads + pass stores
+	r.Control(n)                                     // tap-loop branches
+	r.Shift(2 * uint64(im.W*im.H))                   // row addressing
+	return out
+}
+
+// Sobel computes central-difference gradient images (gx, gy).
+func Sobel(im *Image, r *trace.Recorder) (gx, gy *Image) {
+	gx = NewImage(im.W, im.H)
+	gy = NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			dx := im.AtClamped(x+1, y-1) + 2*im.AtClamped(x+1, y) + im.AtClamped(x+1, y+1) -
+				im.AtClamped(x-1, y-1) - 2*im.AtClamped(x-1, y) - im.AtClamped(x-1, y+1)
+			dy := im.AtClamped(x-1, y+1) + 2*im.AtClamped(x, y+1) + im.AtClamped(x+1, y+1) -
+				im.AtClamped(x-1, y-1) - 2*im.AtClamped(x, y-1) - im.AtClamped(x+1, y-1)
+			gx.Set(x, y, dx)
+			gy.Set(x, y, dy)
+		}
+	}
+	px := uint64(im.W * im.H)
+	vectorized(r, px*14) // 10 adds + 4 mults per pixel
+	r.Mem(px * 8)        // 6 loads + 2 stores
+	r.Control(px)
+	r.Shift(px) // addressing
+	return gx, gy
+}
+
+// Downsample2x halves the image resolution by 2×2 averaging.
+func Downsample2x(im *Image, r *trace.Recorder) *Image {
+	w, h := im.W/2, im.H/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			s := im.AtClamped(2*x, 2*y) + im.AtClamped(2*x+1, 2*y) +
+				im.AtClamped(2*x, 2*y+1) + im.AtClamped(2*x+1, 2*y+1)
+			out.Set(x, y, s*0.25)
+		}
+	}
+	px := uint64(w * h)
+	vectorized(r, px*4)
+	r.Mem(px * 5)
+	r.Control(px)
+	r.Shift(px * 2) // strided addressing
+	return out
+}
+
+// Subtract returns a-b pixelwise (the DoG operator).
+func Subtract(a, b *Image, r *trace.Recorder) *Image {
+	out := NewImage(a.W, a.H)
+	for i := range out.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	n := uint64(len(out.Pix))
+	vectorized(r, n)
+	r.Mem(n * 3)
+	r.Control(n / simdWidth)
+	return out
+}
+
+// Integral computes the summed-area table s where s(x,y) = sum of pixels in
+// the rectangle [0..x, 0..y]. The table is (W+1)x(H+1) with a zero border so
+// that box sums need no boundary tests.
+type Integral struct {
+	W, H int
+	Sum  []float64
+}
+
+// NewIntegral builds the summed-area table of im.
+func NewIntegral(im *Image, r *trace.Recorder) *Integral {
+	w, h := im.W, im.H
+	it := &Integral{W: w, H: h, Sum: make([]float64, (w+1)*(h+1))}
+	stride := w + 1
+	for y := 1; y <= h; y++ {
+		var rowSum float64
+		for x := 1; x <= w; x++ {
+			rowSum += im.At(x-1, y-1)
+			it.Sum[y*stride+x] = it.Sum[(y-1)*stride+x] + rowSum
+		}
+	}
+	px := uint64(w * h)
+	r.FP(px * 2)  // rowSum add + column add (prefix dependency: scalar)
+	r.Mem(px * 3) // pixel load, above load, store
+	r.Control(px)
+	r.Shift(px) // addressing
+	return it
+}
+
+// BoxSum returns the sum of pixels in the rectangle [x0,y0]..(x1,y1)
+// exclusive of x1,y1, i.e. width x1-x0, height y1-y0.
+func (it *Integral) BoxSum(x0, y0, x1, y1 int) float64 {
+	stride := it.W + 1
+	return it.Sum[y1*stride+x1] - it.Sum[y0*stride+x1] -
+		it.Sum[y1*stride+x0] + it.Sum[y0*stride+x0]
+}
+
+// CountBoxSum records the cost of n BoxSum evaluations.
+func CountBoxSum(r *trace.Recorder, n uint64) {
+	r.FP(n * 3)    // 3 adds/subs
+	r.Mem(n * 4)   // 4 table loads
+	r.Shift(n * 4) // addressing
+	r.ALU(n * 4)
+}
+
+// L2Normalize scales v to unit Euclidean length in place (eps-guarded) and
+// reports the cost. Used by HoG block normalization and SIFT descriptors.
+func L2Normalize(v []float64, r *trace.Recorder) {
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	n := uint64(len(v))
+	norm := math.Sqrt(ss) + 1e-12
+	inv := 1 / norm
+	for i := range v {
+		v[i] *= inv
+	}
+	vectorized(r, n*3) // square+acc, scale
+	r.FP(8)            // sqrt + divide, amortized
+	r.Mem(n * 2)
+	r.Control(n / simdWidth)
+}
+
+// Dist2 returns the squared Euclidean distance between equal-length vectors.
+func Dist2(a, b []float64, r *trace.Recorder) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	n := uint64(len(a))
+	vectorized(r, n*3)
+	r.Mem(n * 2)
+	r.Control(n / simdWidth)
+	return s
+}
+
+// Dot returns the inner product of equal-length vectors.
+func Dot(a, b []float64, r *trace.Recorder) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	n := uint64(len(a))
+	vectorized(r, n*2)
+	r.Mem(n * 2)
+	r.Control(n / simdWidth)
+	return s
+}
+
+// HammingDistance counts differing bits between two binary descriptors.
+func HammingDistance(a, b []uint64, r *trace.Recorder) int {
+	var d int
+	for i := range a {
+		d += popcount(a[i] ^ b[i])
+	}
+	n := uint64(len(a))
+	r.ALU(n * 2) // xor + popcount
+	r.Str(n)     // byte/bit-block op, mirrors x86 string/packed byte ops
+	r.Mem(n * 2)
+	r.Control(n)
+	return d
+}
+
+func popcount(x uint64) int {
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,223 @@
+package vision
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mapc/internal/trace"
+	"mapc/internal/xrand"
+)
+
+func constantImage(w, h int, v float64) *Image {
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = v
+	}
+	return im
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1.0, 1.6, 3.2} {
+		k := GaussianKernel1D(sigma)
+		if len(k)%2 == 0 {
+			t.Errorf("sigma %v: even kernel length %d", sigma, len(k))
+		}
+		var sum float64
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("sigma %v: kernel sums to %v", sigma, sum)
+		}
+		// Symmetry.
+		for i := range k {
+			if math.Abs(k[i]-k[len(k)-1-i]) > 1e-12 {
+				t.Errorf("sigma %v: kernel asymmetric at %d", sigma, i)
+			}
+		}
+	}
+	if k := GaussianKernel1D(0); len(k) != 1 || k[0] != 1 {
+		t.Errorf("sigma 0 kernel = %v", k)
+	}
+}
+
+func TestConvolvePreservesConstant(t *testing.T) {
+	im := constantImage(16, 16, 42)
+	out := ConvolveSeparable(im, GaussianKernel1D(1.5), nil)
+	for i, v := range out.Pix {
+		if math.Abs(v-42) > 1e-9 {
+			t.Fatalf("pixel %d = %v after blurring constant 42", i, v)
+		}
+	}
+}
+
+func TestConvolveSmooths(t *testing.T) {
+	// An impulse must spread: centre decreases, neighbours increase.
+	im := NewImage(9, 9)
+	im.Set(4, 4, 100)
+	out := ConvolveSeparable(im, GaussianKernel1D(1.0), nil)
+	if out.At(4, 4) >= 100 {
+		t.Error("impulse centre did not decrease")
+	}
+	if out.At(3, 4) <= 0 {
+		t.Error("impulse did not spread to neighbour")
+	}
+	// Mass conservation away from borders (impulse is interior).
+	var sum float64
+	for _, v := range out.Pix {
+		sum += v
+	}
+	if math.Abs(sum-100) > 1e-6 {
+		t.Errorf("blur mass %v, want 100", sum)
+	}
+}
+
+func TestSobelZeroOnConstant(t *testing.T) {
+	gx, gy := Sobel(constantImage(8, 8, 7), nil)
+	for i := range gx.Pix {
+		if gx.Pix[i] != 0 || gy.Pix[i] != 0 {
+			t.Fatalf("gradient %d nonzero on constant image", i)
+		}
+	}
+}
+
+func TestSobelDetectsVerticalEdge(t *testing.T) {
+	im := NewImage(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			im.Set(x, y, 100)
+		}
+	}
+	gx, gy := Sobel(im, nil)
+	if gx.At(4, 4) <= 0 {
+		t.Error("vertical edge not detected in gx")
+	}
+	if math.Abs(gy.At(4, 4)) > 1e-9 {
+		t.Error("spurious gy response on vertical edge")
+	}
+}
+
+func TestDownsampleHalves(t *testing.T) {
+	im := constantImage(10, 8, 3)
+	out := Downsample2x(im, nil)
+	if out.W != 5 || out.H != 4 {
+		t.Fatalf("downsampled size %dx%d", out.W, out.H)
+	}
+	for _, v := range out.Pix {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("averaged constant = %v", v)
+		}
+	}
+}
+
+func TestIntegralMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		im := NewImage(13, 9)
+		for i := range im.Pix {
+			im.Pix[i] = rng.Float64() * 255
+		}
+		it := NewIntegral(im, nil)
+		for trial := 0; trial < 20; trial++ {
+			x0 := rng.Intn(im.W)
+			y0 := rng.Intn(im.H)
+			x1 := x0 + 1 + rng.Intn(im.W-x0)
+			y1 := y0 + 1 + rng.Intn(im.H-y0)
+			var want float64
+			for y := y0; y < y1; y++ {
+				for x := x0; x < x1; x++ {
+					want += im.At(x, y)
+				}
+			}
+			if math.Abs(it.BoxSum(x0, y0, x1, y1)-want) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestL2NormalizeUnitNorm(t *testing.T) {
+	v := []float64{3, 4, 0, 0}
+	L2Normalize(v, nil)
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	if math.Abs(ss-1) > 1e-9 {
+		t.Fatalf("norm² = %v", ss)
+	}
+	// Zero vector must not NaN.
+	z := []float64{0, 0}
+	L2Normalize(z, nil)
+	for _, x := range z {
+		if math.IsNaN(x) {
+			t.Fatal("NaN from zero-vector normalize")
+		}
+	}
+}
+
+func TestDist2AndDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 6, 3}
+	if got := Dist2(a, b, nil); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+	if got := Dot(a, b, nil); got != 25 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestHammingDistanceProperties(t *testing.T) {
+	if err := quick.Check(func(a, b [4]uint64) bool {
+		as, bs := a[:], b[:]
+		dab := HammingDistance(as, bs, nil)
+		dba := HammingDistance(bs, as, nil)
+		if dab != dba {
+			return false // symmetry
+		}
+		if HammingDistance(as, as, nil) != 0 {
+			return false // identity
+		}
+		return dab >= 0 && dab <= 256
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint64]int{0: 0, 1: 1, 0xFF: 8, ^uint64(0): 64, 1 << 63: 1}
+	for in, want := range cases {
+		if got := popcount(in); got != want {
+			t.Errorf("popcount(%x) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestInstrumentationCountsPositive(t *testing.T) {
+	// Every primitive must report work when run under a recorder.
+	rec := trace.NewRecorder("prim", 1)
+	rec.BeginPhase("all", 1<<16, trace.PhaseOpts{Parallelism: 64, VectorWidth: 1})
+	im := SynthesizeImage(SceneTextured, 32, 32, 1)
+	ConvolveSeparable(im, GaussianKernel1D(1), rec)
+	Sobel(im, rec)
+	Downsample2x(im, rec)
+	Subtract(im, im, rec)
+	NewIntegral(im, rec)
+	CountBoxSum(rec, 10)
+	L2Normalize([]float64{1, 2}, rec)
+	Dist2([]float64{1}, []float64{2}, rec)
+	Dot([]float64{1}, []float64{2}, rec)
+	HammingDistance([]uint64{1}, []uint64{2}, rec)
+	rec.EndPhase()
+	w, err := rec.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Instructions() == 0 {
+		t.Fatal("no instructions recorded by primitives")
+	}
+}

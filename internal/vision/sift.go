@@ -1,0 +1,238 @@
+package vision
+
+import (
+	"math"
+
+	"mapc/internal/trace"
+)
+
+// SIFT implements the scale-invariant feature transform (Lowe): a Gaussian
+// scale-space pyramid, difference-of-Gaussians extrema detection across
+// scale, dominant-orientation assignment, and 128-dimensional gradient
+// histogram descriptors (4x4 spatial cells x 8 orientation bins).
+type SIFT struct {
+	Octaves    int
+	Scales     int     // Gaussian images per octave (DoG has Scales-1)
+	Sigma0     float64 // base blur
+	PeakThresh float64 // |DoG| threshold for extrema
+}
+
+// NewSIFT returns a 3-octave, 5-scale configuration.
+func NewSIFT() *SIFT {
+	return &SIFT{Octaves: 3, Scales: 5, Sigma0: 1.6, PeakThresh: 2.0}
+}
+
+// Name implements Benchmark.
+func (s *SIFT) Name() string { return "sift" }
+
+// Scene implements Benchmark.
+func (s *SIFT) Scene() SceneKind { return SceneTextured }
+
+func (s *SIFT) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var kpTotal, descTotal int
+	for _, im := range images {
+		kps, descs := s.DetectAndDescribe(im, rec)
+		kpTotal += len(kps)
+		descTotal += len(descs)
+	}
+	n := float64(len(images))
+	return map[string]float64{
+		"keypoints":   float64(kpTotal) / n,
+		"descriptors": float64(descTotal) / n,
+	}, nil
+}
+
+// DetectAndDescribe runs the full SIFT pipeline on one image.
+func (s *SIFT) DetectAndDescribe(im *Image, rec *trace.Recorder) ([]Keypoint, [][]float64) {
+	// Phase 1: Gaussian pyramid. Dominated by separable convolutions —
+	// the classic SSE/FP-heavy windowed streaming profile.
+	pyrBytes := im.Bytes() * 2 // geometric series of octaves
+	rec.BeginPhase("sift-gaussian-pyramid", pyrBytes*int64(s.Scales), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.75,
+		Parallelism: im.W * im.H,
+		VectorWidth: simdWidth,
+	})
+	pyr := make([][]*Image, s.Octaves)
+	base := im
+	kFactor := math.Pow(2, 1/float64(s.Scales-2))
+	for o := 0; o < s.Octaves; o++ {
+		pyr[o] = make([]*Image, s.Scales)
+		cur := base
+		for sc := 0; sc < s.Scales; sc++ {
+			sigma := s.Sigma0 * math.Pow(kFactor, float64(sc))
+			pyr[o][sc] = ConvolveSeparable(cur, GaussianKernel1D(sigma), rec)
+			cur = pyr[o][sc]
+		}
+		if o+1 < s.Octaves {
+			base = Downsample2x(pyr[o][s.Scales-2], rec)
+		}
+	}
+	rec.EndPhase()
+
+	// Phase 2: DoG + 3x3x3 extrema detection.
+	rec.BeginPhase("sift-dog-extrema", pyrBytes*int64(s.Scales-1), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.7,
+		Parallelism: im.W * im.H,
+		VectorWidth: 1,
+	})
+	var kps []Keypoint
+	for o := 0; o < s.Octaves; o++ {
+		dogs := make([]*Image, s.Scales-1)
+		for i := 0; i+1 < s.Scales; i++ {
+			dogs[i] = Subtract(pyr[o][i+1], pyr[o][i], rec)
+		}
+		for sc := 1; sc+1 < len(dogs); sc++ {
+			kps = append(kps, s.findExtrema(dogs, sc, o, rec)...)
+		}
+	}
+	rec.EndPhase()
+
+	// Phase 3: orientation assignment + descriptors. Gather accesses in
+	// 16x16 neighbourhoods around sparse keypoints.
+	rec.BeginPhase("sift-descriptors", int64(len(kps))*128*8+im.Bytes(), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.5,
+		Parallelism: maxInt(len(kps), 1),
+		VectorWidth: 1,
+	})
+	descs := make([][]float64, 0, len(kps))
+	for i := range kps {
+		g := pyr[kps[i].Octave][1]
+		kps[i].Orientation = dominantOrientation(g, kps[i].X, kps[i].Y, rec)
+		descs = append(descs, siftDescriptor(g, kps[i], rec))
+	}
+	rec.EndPhase()
+	return kps, descs
+}
+
+// findExtrema locates pixels that are strict maxima or minima of their
+// 3x3x3 scale-space neighbourhood with magnitude above the peak threshold.
+func (s *SIFT) findExtrema(dogs []*Image, sc, octave int, rec *trace.Recorder) []Keypoint {
+	d := dogs[sc]
+	var out []Keypoint
+	var probes uint64
+	for y := 1; y < d.H-1; y++ {
+		for x := 1; x < d.W-1; x++ {
+			v := d.At(x, y)
+			if v < s.PeakThresh && v > -s.PeakThresh {
+				probes++
+				continue
+			}
+			isMax, isMin := true, true
+			for ds := -1; ds <= 1 && (isMax || isMin); ds++ {
+				layer := dogs[sc+ds]
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if ds == 0 && dx == 0 && dy == 0 {
+							continue
+						}
+						nv := layer.At(x+dx, y+dy)
+						if nv >= v {
+							isMax = false
+						}
+						if nv <= v {
+							isMin = false
+						}
+					}
+				}
+			}
+			probes += 27
+			if isMax || isMin {
+				scaleUp := 1 << octave
+				out = append(out, Keypoint{
+					X: x * scaleUp, Y: y * scaleUp,
+					Score:  math.Abs(v),
+					Octave: octave,
+				})
+			}
+		}
+	}
+	rec.Mem(probes)
+	rec.FP(probes * 2)
+	rec.Control(probes * 2)
+	rec.ALU(probes)
+	return out
+}
+
+// dominantOrientation returns the peak of a 36-bin gradient-orientation
+// histogram in a 9x9 Gaussian-weighted neighbourhood.
+func dominantOrientation(g *Image, x, y int, rec *trace.Recorder) float64 {
+	// Keypoint coordinates are in base-image space; clamp to this level.
+	if x >= g.W {
+		x = g.W - 1
+	}
+	if y >= g.H {
+		y = g.H - 1
+	}
+	const bins = 36
+	var hist [bins]float64
+	for dy := -4; dy <= 4; dy++ {
+		for dx := -4; dx <= 4; dx++ {
+			gx := g.AtClamped(x+dx+1, y+dy) - g.AtClamped(x+dx-1, y+dy)
+			gy := g.AtClamped(x+dx, y+dy+1) - g.AtClamped(x+dx, y+dy-1)
+			mag := math.Sqrt(gx*gx + gy*gy)
+			ang := math.Atan2(gy, gx) + math.Pi
+			b := int(ang/(2*math.Pi)*bins) % bins
+			w := math.Exp(-float64(dx*dx+dy*dy) / 32)
+			hist[b] += mag * w
+		}
+	}
+	best := 0
+	for i := 1; i < bins; i++ {
+		if hist[i] > hist[best] {
+			best = i
+		}
+	}
+	const px = 81
+	rec.FP(px * 14)
+	rec.Mem(px * 5)
+	rec.Control(px + bins)
+	rec.ALU(px * 2)
+	return float64(best)/bins*2*math.Pi - math.Pi
+}
+
+// siftDescriptor builds the 128-d descriptor: 4x4 spatial cells over a 16x16
+// window, 8 orientation bins each, rotated by the keypoint orientation and
+// L2-normalized.
+func siftDescriptor(g *Image, kp Keypoint, rec *trace.Recorder) []float64 {
+	desc := make([]float64, 128)
+	cos, sin := math.Cos(-kp.Orientation), math.Sin(-kp.Orientation)
+	x0, y0 := kp.X, kp.Y
+	if x0 >= g.W {
+		x0 = g.W - 1
+	}
+	if y0 >= g.H {
+		y0 = g.H - 1
+	}
+	for dy := -8; dy < 8; dy++ {
+		for dx := -8; dx < 8; dx++ {
+			// Rotate the sample offset into the keypoint frame.
+			rx := cos*float64(dx) - sin*float64(dy)
+			ry := sin*float64(dx) + cos*float64(dy)
+			cellX := int((rx + 8) / 4)
+			cellY := int((ry + 8) / 4)
+			if cellX < 0 || cellX > 3 || cellY < 0 || cellY > 3 {
+				continue
+			}
+			gx := g.AtClamped(x0+dx+1, y0+dy) - g.AtClamped(x0+dx-1, y0+dy)
+			gy := g.AtClamped(x0+dx, y0+dy+1) - g.AtClamped(x0+dx, y0+dy-1)
+			mag := math.Sqrt(gx*gx + gy*gy)
+			ang := math.Atan2(gy, gx) - kp.Orientation
+			for ang < 0 {
+				ang += 2 * math.Pi
+			}
+			bin := int(ang/(2*math.Pi)*8) % 8
+			desc[(cellY*4+cellX)*8+bin] += mag
+		}
+	}
+	L2Normalize(desc, rec)
+	const px = 256
+	rec.FP(px * 16)
+	rec.Mem(px * 5)
+	rec.Control(px * 2)
+	rec.ALU(px * 3)
+	rec.Shift(px)
+	return desc
+}

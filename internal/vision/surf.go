@@ -1,0 +1,211 @@
+package vision
+
+import (
+	"math"
+
+	"mapc/internal/trace"
+)
+
+// SURF implements Speeded-Up Robust Features (Bay et al.): box-filter
+// approximations of the Hessian determinant evaluated over an integral
+// image at multiple filter sizes, scale-space extrema detection, and 64-d
+// descriptors built from Haar-wavelet responses in 4x4 subregions.
+type SURF struct {
+	FilterSizes []int   // box filter side lengths (9, 15, 21, 27 ≈ octave 1-2)
+	HessThresh  float64 // determinant threshold for keypoints
+}
+
+// NewSURF returns the standard first-octave configuration.
+func NewSURF() *SURF {
+	return &SURF{FilterSizes: []int{9, 15, 21}, HessThresh: 40}
+}
+
+// Name implements Benchmark.
+func (s *SURF) Name() string { return "surf" }
+
+// Scene implements Benchmark.
+func (s *SURF) Scene() SceneKind { return SceneTextured }
+
+func (s *SURF) run(images []*Image, rec *trace.Recorder) (map[string]float64, error) {
+	var kpTotal int
+	var descSum float64
+	for _, im := range images {
+		kps, descs := s.DetectAndDescribe(im, rec)
+		kpTotal += len(kps)
+		for _, d := range descs {
+			for _, v := range d {
+				descSum += v
+			}
+		}
+	}
+	n := float64(len(images))
+	return map[string]float64{
+		"keypoints": float64(kpTotal) / n,
+		"descSum":   descSum / n,
+	}, nil
+}
+
+// DetectAndDescribe runs the SURF pipeline on one image.
+func (s *SURF) DetectAndDescribe(im *Image, rec *trace.Recorder) ([]Keypoint, [][]float64) {
+	// Phase 1: integral image (sequential prefix sums, scalar FP).
+	rec.BeginPhase("surf-integral", im.Bytes()*2, trace.PhaseOpts{
+		Pattern:     trace.Sequential,
+		Reuse:       0.3,
+		Parallelism: im.H, // row-parallel with a scan dependency
+		VectorWidth: 1,
+	})
+	it := NewIntegral(im, rec)
+	rec.EndPhase()
+
+	// Phase 2: Hessian response maps at each filter size. BoxSum gathers
+	// across the integral image: strided + windowed mixture.
+	rec.BeginPhase("surf-hessian", im.Bytes()*int64(len(s.FilterSizes)), trace.PhaseOpts{
+		Pattern:     trace.Strided,
+		StrideBytes: int64(s.FilterSizes[0]) * 8,
+		Reuse:       0.55,
+		Parallelism: im.W * im.H * len(s.FilterSizes),
+		VectorWidth: 1,
+	})
+	maps := make([]*Image, len(s.FilterSizes))
+	for i, fs := range s.FilterSizes {
+		maps[i] = s.hessianMap(it, fs, rec)
+	}
+	rec.EndPhase()
+
+	// Phase 3: extrema across adjacent scales + descriptor from Haar
+	// wavelet responses.
+	var kps []Keypoint
+	rec.BeginPhase("surf-extrema", im.Bytes()*int64(len(maps)), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.7,
+		Parallelism: im.W * im.H,
+		VectorWidth: 1,
+	})
+	var probes uint64
+	for mi := 1; mi+1 < len(maps); mi++ {
+		m := maps[mi]
+		border := s.FilterSizes[mi+1]/2 + 1
+		for y := border; y < m.H-border; y++ {
+			for x := border; x < m.W-border; x++ {
+				v := m.At(x, y)
+				probes++
+				if v < s.HessThresh {
+					continue
+				}
+				if isLocalMax3x3x3(maps[mi-1], m, maps[mi+1], x, y, v) {
+					kps = append(kps, Keypoint{X: x, Y: y, Score: v, Octave: mi})
+				}
+				probes += 26
+			}
+		}
+	}
+	rec.Mem(probes)
+	rec.FP(probes)
+	rec.Control(probes * 2)
+	rec.EndPhase()
+
+	rec.BeginPhase("surf-descriptors", int64(len(kps))*64*8+im.Bytes(), trace.PhaseOpts{
+		Pattern:     trace.Windowed,
+		Reuse:       0.45,
+		Parallelism: maxInt(len(kps), 1),
+		VectorWidth: simdWidth,
+	})
+	descs := make([][]float64, len(kps))
+	for i, kp := range kps {
+		descs[i] = s.descriptor(it, kp, rec)
+	}
+	rec.EndPhase()
+	return kps, descs
+}
+
+// hessianMap evaluates the box-filter det(Hessian) approximation at one
+// filter size: Dxx*Dyy - (0.9*Dxy)^2, normalized by filter area.
+func (s *SURF) hessianMap(it *Integral, fs int, rec *trace.Recorder) *Image {
+	out := NewImage(it.W, it.H)
+	half := fs / 2
+	third := fs / 3
+	norm := 1 / float64(fs*fs)
+	var evals uint64
+	for y := half + 1; y < it.H-half-1; y++ {
+		for x := half + 1; x < it.W-half-1; x++ {
+			// Dxx: three vertical bands (+1, -2, +1).
+			dxx := it.BoxSum(x-half, y-third, x-third+1, y+third) -
+				2*it.BoxSum(x-third+1, y-third, x+third, y+third) +
+				it.BoxSum(x+third, y-third, x+half+1, y+third)
+			// Dyy: three horizontal bands.
+			dyy := it.BoxSum(x-third, y-half, x+third, y-third+1) -
+				2*it.BoxSum(x-third, y-third+1, x+third, y+third) +
+				it.BoxSum(x-third, y+third, x+third, y+half+1)
+			// Dxy: four diagonal quadrants.
+			dxy := it.BoxSum(x-third, y-third, x, y) + it.BoxSum(x, y, x+third, y+third) -
+				it.BoxSum(x-third, y, x, y+third) - it.BoxSum(x, y-third, x+third, y)
+			dxy *= 0.9
+			out.Set(x, y, (dxx*dyy-dxy*dxy)*norm*norm)
+			evals++
+		}
+	}
+	CountBoxSum(rec, evals*10)
+	rec.FP(evals * 8)
+	rec.Mem(evals)
+	rec.Control(evals)
+	return out
+}
+
+// isLocalMax3x3x3 reports whether v at (x,y) strictly dominates its 26
+// scale-space neighbours.
+func isLocalMax3x3x3(below, mid, above *Image, x, y int, v float64) bool {
+	for _, layer := range []*Image{below, mid, above} {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if layer == mid && dx == 0 && dy == 0 {
+					continue
+				}
+				if layer.AtClamped(x+dx, y+dy) >= v {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// descriptor builds the 64-d SURF descriptor: 4x4 subregions around the
+// keypoint, each contributing (Σdx, Σdy, Σ|dx|, Σ|dy|) of Haar responses.
+func (s *SURF) descriptor(it *Integral, kp Keypoint, rec *trace.Recorder) []float64 {
+	desc := make([]float64, 64)
+	step := 2 + kp.Octave // sampling step grows with scale
+	var samples uint64
+	for sy := 0; sy < 4; sy++ {
+		for sx := 0; sx < 4; sx++ {
+			var sdx, sdy, adx, ady float64
+			for py := 0; py < 5; py++ {
+				for px := 0; px < 5; px++ {
+					x := kp.X + (sx-2)*5*step/2 + px*step/2
+					y := kp.Y + (sy-2)*5*step/2 + py*step/2
+					if x < 2 || x >= it.W-2 || y < 2 || y >= it.H-2 {
+						continue
+					}
+					// 4x4 Haar wavelets from the integral image.
+					dx := it.BoxSum(x, y-2, x+2, y+2) - it.BoxSum(x-2, y-2, x, y+2)
+					dy := it.BoxSum(x-2, y, x+2, y+2) - it.BoxSum(x-2, y-2, x+2, y)
+					sdx += dx
+					sdy += dy
+					adx += math.Abs(dx)
+					ady += math.Abs(dy)
+					samples++
+				}
+			}
+			base := (sy*4 + sx) * 4
+			desc[base] = sdx
+			desc[base+1] = sdy
+			desc[base+2] = adx
+			desc[base+3] = ady
+		}
+	}
+	CountBoxSum(rec, samples*4)
+	rec.FP(samples * 8)
+	rec.Control(samples * 2)
+	rec.ALU(samples * 4)
+	L2Normalize(desc, rec)
+	return desc
+}

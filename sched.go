@@ -1,0 +1,39 @@
+package mapc
+
+import (
+	"mapc/internal/sched"
+)
+
+// Scheduling facade: the edge-server co-scheduling layer built on top of
+// the predictor (the use case the paper's introduction motivates).
+type (
+	// Scheduler drains job queues through the simulated GPU under a
+	// pluggable policy.
+	Scheduler = sched.Scheduler
+	// Job is one offloaded application request.
+	Job = sched.Job
+	// SchedOutcome records one job's completion.
+	SchedOutcome = sched.Outcome
+	// ScheduleResult is the outcome of draining a queue.
+	ScheduleResult = sched.Schedule
+	// SchedPolicy selects which jobs share the GPU next.
+	SchedPolicy = sched.Policy
+)
+
+// The shipped scheduling policies.
+var (
+	// PolicySerialFIFO runs one job at a time in arrival order.
+	PolicySerialFIFO SchedPolicy = sched.SerialFIFO{}
+	// PolicyPairFIFO naively co-schedules adjacent arrivals.
+	PolicyPairFIFO SchedPolicy = sched.PairFIFO{}
+	// PolicyPredictedPairing pairs jobs by predicted bag time.
+	PolicyPredictedPairing SchedPolicy = sched.PredictedPairing{}
+	// PolicyOraclePairing pairs jobs by measured bag time.
+	PolicyOraclePairing SchedPolicy = sched.OraclePairing{}
+)
+
+// NewScheduler returns a scheduler on the configuration's GPU. The
+// predictor may be nil if only predictor-free policies are used.
+func NewScheduler(cfg Config, predictor *Predictor) (*Scheduler, error) {
+	return sched.New(cfg, predictor)
+}
