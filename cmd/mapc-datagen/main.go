@@ -20,9 +20,12 @@ import (
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); output is identical for every value")
 	flag.Parse()
 
-	gen, err := dataset.NewGenerator(dataset.DefaultConfig())
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
+	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"os"
 
+	"mapc/internal/dataset"
 	"mapc/internal/experiments"
 )
 
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact (e.g. figure5)")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
+	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); figures are identical for every value")
 	flag.Parse()
 
 	if *list {
@@ -31,7 +33,9 @@ func main() {
 		return
 	}
 
-	env := experiments.DefaultEnv()
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
+	env := experiments.NewEnv(cfg)
 	if *only != "" {
 		t, err := experiments.Run(env, *only)
 		if err != nil {

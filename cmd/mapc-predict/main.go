@@ -23,9 +23,12 @@ func main() {
 	batchA := flag.Int("abatch", 20, "first benchmark's batch size")
 	batchB := flag.Int("bbatch", 20, "second benchmark's batch size")
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
+	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
 	flag.Parse()
 
-	gen, err := dataset.NewGenerator(dataset.DefaultConfig())
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
+	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}

@@ -26,6 +26,7 @@ func main() {
 	protoName := flag.String("protocol", "own", "LOOCV protocol: own (hold out the benchmark's homogeneous points) or containing (hold out every bag containing it)")
 	maxDepth := flag.Int("max-depth", 0, "tree depth bound (0 = unbounded)")
 	outModel := flag.String("o", "", "save the full-corpus model to this JSON file")
+	workers := flag.Int("workers", 0, "measurement/fold worker goroutines (0 = NumCPU, 1 = serial); results are identical for every value")
 	flag.Parse()
 
 	var scheme core.Scheme
@@ -49,11 +50,13 @@ func main() {
 		fatal(fmt.Errorf("unknown protocol %q", *protoName))
 	}
 
-	gen, err := dataset.NewGenerator(dataset.DefaultConfig())
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
+	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr, "mapc-train: generating 91-run corpus...")
+	fmt.Fprintf(os.Stderr, "mapc-train: generating 91-run corpus (%d workers)...\n", cfg.EffectiveWorkers())
 	corpus, err := gen.Generate()
 	if err != nil {
 		fatal(err)
@@ -61,7 +64,7 @@ func main() {
 
 	params := core.DefaultTreeParams()
 	params.MaxDepth = *maxDepth
-	results, err := core.LOOCV(corpus, scheme, params, protocol)
+	results, err := core.LOOCVWorkers(corpus, scheme, params, protocol, *workers)
 	if err != nil {
 		fatal(err)
 	}

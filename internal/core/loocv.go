@@ -7,6 +7,7 @@ import (
 	"mapc/internal/dataset"
 	"mapc/internal/features"
 	"mapc/internal/ml"
+	"mapc/internal/parallel"
 )
 
 // Protocol selects which data points a LOOCV fold holds out for the
@@ -60,67 +61,95 @@ type LOOCVResult struct {
 }
 
 // LOOCV runs leave-one-benchmark-out cross-validation with the given scheme
-// and hold-out protocol (Section V-D1).
+// and hold-out protocol (Section V-D1). Folds run on the default worker
+// pool (runtime.NumCPU()); see LOOCVWorkers for an explicit bound.
 func LOOCV(c *dataset.Corpus, scheme Scheme, params TreeParams, protocol Protocol) ([]LOOCVResult, error) {
+	return LOOCVWorkers(c, scheme, params, protocol, 0)
+}
+
+// LOOCVWorkers is LOOCV with an explicit fold-level worker bound: each fold
+// trains an independent tree on an independent row subset, so folds fan out
+// over min(workers, folds) goroutines. workers <= 0 selects
+// runtime.NumCPU(); 1 is the exact serial path. Results are ordered by
+// benchmark name regardless of worker count, and fold outputs are
+// bit-for-bit identical to a serial run (tree fitting is deterministic and
+// each fold copies its feature rows before training).
+func LOOCVWorkers(c *dataset.Corpus, scheme Scheme, params TreeParams, protocol Protocol, workers int) ([]LOOCVResult, error) {
 	if c == nil || len(c.Points) == 0 {
 		return nil, fmt.Errorf("core: empty corpus")
 	}
 	full := c.Dataset()
-	var out []LOOCVResult
-	for _, bench := range c.BenchmarkNames() {
-		var trainIdx, testIdx []int
-		for i := range c.Points {
-			p := &c.Points[i]
-			var held bool
-			switch protocol {
-			case HoldOutContaining:
-				held = c.ContainsBenchmark(i, bench)
-			default:
-				held = p.Homogeneous && p.Members[0].Benchmark == bench
-			}
-			if held {
-				testIdx = append(testIdx, i)
-			} else {
-				trainIdx = append(trainIdx, i)
-			}
-		}
-		if len(testIdx) == 0 || len(trainIdx) == 0 {
-			return nil, fmt.Errorf("core: degenerate LOOCV fold for %q", bench)
-		}
-		trainD := full.Subset(trainIdx)
-		p, err := trainOn(trainD, c, scheme, params)
+	benches := c.BenchmarkNames()
+	out := make([]LOOCVResult, len(benches))
+	err := parallel.ForEach(workers, len(benches), func(bi int) error {
+		res, err := runFold(c, full, benches[bi], scheme, params, protocol)
 		if err != nil {
-			return nil, fmt.Errorf("core: fold %q: %w", bench, err)
+			return err
 		}
-
-		res := LOOCVResult{
-			Benchmark:        bench,
-			PointIdx:         testIdx,
-			PathFeatureNames: p.FeatureNames(),
-		}
-		for _, ti := range testIdx {
-			pt := &c.Points[ti]
-			pred, err := p.PredictVector(pt.X)
-			if err != nil {
-				return nil, fmt.Errorf("core: fold %q point %d: %w", bench, ti, err)
-			}
-			path, err := p.PathVector(pt.X)
-			if err != nil {
-				return nil, fmt.Errorf("core: fold %q point %d: %w", bench, ti, err)
-			}
-			res.Truth = append(res.Truth, pt.Y)
-			res.Pred = append(res.Pred, pred)
-			res.Paths = append(res.Paths, path)
-		}
-		perPoint, err := ml.RelativeErrors(res.Truth, res.Pred)
-		if err != nil {
-			return nil, fmt.Errorf("core: fold %q: %w", bench, err)
-		}
-		res.PerPoint = perPoint
-		res.MeanRelErr = ml.Mean(perPoint)
-		out = append(out, res)
+		out[bi] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// runFold trains and evaluates one LOOCV fold. It only reads the shared
+// corpus and dataset view; all per-fold state is private, which is what
+// makes fold-level parallelism race-free.
+func runFold(c *dataset.Corpus, full *ml.Dataset, bench string, scheme Scheme, params TreeParams, protocol Protocol) (LOOCVResult, error) {
+	var trainIdx, testIdx []int
+	for i := range c.Points {
+		p := &c.Points[i]
+		var held bool
+		switch protocol {
+		case HoldOutContaining:
+			held = c.ContainsBenchmark(i, bench)
+		default:
+			held = p.Homogeneous && p.Members[0].Benchmark == bench
+		}
+		if held {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	if len(testIdx) == 0 || len(trainIdx) == 0 {
+		return LOOCVResult{}, fmt.Errorf("core: degenerate LOOCV fold for %q", bench)
+	}
+	trainD := full.Subset(trainIdx)
+	p, err := trainOn(trainD, c, scheme, params)
+	if err != nil {
+		return LOOCVResult{}, fmt.Errorf("core: fold %q: %w", bench, err)
+	}
+
+	res := LOOCVResult{
+		Benchmark:        bench,
+		PointIdx:         testIdx,
+		PathFeatureNames: p.FeatureNames(),
+	}
+	for _, ti := range testIdx {
+		pt := &c.Points[ti]
+		pred, err := p.PredictVector(pt.X)
+		if err != nil {
+			return LOOCVResult{}, fmt.Errorf("core: fold %q point %d: %w", bench, ti, err)
+		}
+		path, err := p.PathVector(pt.X)
+		if err != nil {
+			return LOOCVResult{}, fmt.Errorf("core: fold %q point %d: %w", bench, ti, err)
+		}
+		res.Truth = append(res.Truth, pt.Y)
+		res.Pred = append(res.Pred, pred)
+		res.Paths = append(res.Paths, path)
+	}
+	perPoint, err := ml.RelativeErrors(res.Truth, res.Pred)
+	if err != nil {
+		return LOOCVResult{}, fmt.Errorf("core: fold %q: %w", bench, err)
+	}
+	res.PerPoint = perPoint
+	res.MeanRelErr = ml.Mean(perPoint)
+	return res, nil
 }
 
 // MeanLOOCVError returns the mean of the per-benchmark mean relative errors

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"mapc/internal/dataset"
+)
+
+var (
+	parCorpusOnce sync.Once
+	parCorpus     *dataset.Corpus
+	parCorpusErr  error
+)
+
+// parallelTestCorpus is a 3-benchmark corpus, small enough to retrain
+// per-fold trees many times under -race.
+func parallelTestCorpus(t *testing.T) *dataset.Corpus {
+	t.Helper()
+	parCorpusOnce.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.Benchmarks = []string{"fast", "hog", "knn"}
+		cfg.BatchSizes = []int{20, 40, 80}
+		cfg.MixedPairs = 2
+		gen, err := dataset.NewGenerator(cfg)
+		if err != nil {
+			parCorpusErr = err
+			return
+		}
+		parCorpus, parCorpusErr = gen.Generate()
+	})
+	if parCorpusErr != nil {
+		t.Fatal(parCorpusErr)
+	}
+	return parCorpus
+}
+
+// TestLOOCVParallelFoldsMatchSerial runs LOOCV under both hold-out
+// protocols with 1 worker (the legacy serial path) and several pool sizes,
+// asserting every per-fold output — MeanRelErr, PointIdx, PerPoint, Truth,
+// Pred, and the decision Paths — matches the serial run exactly.
+func TestLOOCVParallelFoldsMatchSerial(t *testing.T) {
+	c := parallelTestCorpus(t)
+	params := DefaultTreeParams()
+	for _, protocol := range []Protocol{HoldOutOwn, HoldOutContaining} {
+		t.Run(protocol.String(), func(t *testing.T) {
+			serial, err := LOOCVWorkers(c, SchemeFull, params, protocol, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) != 3 {
+				t.Fatalf("%d folds, want 3", len(serial))
+			}
+			for _, workers := range []int{2, 4, runtime.NumCPU(), 0} {
+				par, err := LOOCVWorkers(c, SchemeFull, params, protocol, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(par) != len(serial) {
+					t.Fatalf("workers=%d: %d folds, serial %d", workers, len(par), len(serial))
+				}
+				for fi := range serial {
+					s, p := &serial[fi], &par[fi]
+					if s.Benchmark != p.Benchmark {
+						t.Fatalf("workers=%d fold %d: benchmark %q vs serial %q (ordering broken)",
+							workers, fi, p.Benchmark, s.Benchmark)
+					}
+					if s.MeanRelErr != p.MeanRelErr {
+						t.Errorf("workers=%d fold %q: MeanRelErr %v vs serial %v",
+							workers, s.Benchmark, p.MeanRelErr, s.MeanRelErr)
+					}
+					if !reflect.DeepEqual(s.PointIdx, p.PointIdx) {
+						t.Errorf("workers=%d fold %q: PointIdx differ", workers, s.Benchmark)
+					}
+					if !reflect.DeepEqual(s.PerPoint, p.PerPoint) {
+						t.Errorf("workers=%d fold %q: PerPoint differ", workers, s.Benchmark)
+					}
+					if !reflect.DeepEqual(s.Truth, p.Truth) || !reflect.DeepEqual(s.Pred, p.Pred) {
+						t.Errorf("workers=%d fold %q: truth/pred differ", workers, s.Benchmark)
+					}
+					if !reflect.DeepEqual(s.Paths, p.Paths) {
+						t.Errorf("workers=%d fold %q: decision paths differ", workers, s.Benchmark)
+					}
+					if !reflect.DeepEqual(s.PathFeatureNames, p.PathFeatureNames) {
+						t.Errorf("workers=%d fold %q: path feature names differ", workers, s.Benchmark)
+					}
+				}
+				if MeanLOOCVError(par) != MeanLOOCVError(serial) {
+					t.Errorf("workers=%d: headline mean differs", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestLOOCVConcurrentCallers hammers LOOCV itself from parallel goroutines
+// sharing one corpus — the corpus and its dataset view are read-only during
+// folds, so this must be race-clean (run under -race in CI).
+func TestLOOCVConcurrentCallers(t *testing.T) {
+	c := parallelTestCorpus(t)
+	want, err := LOOCVWorkers(c, SchemeFull, DefaultTreeParams(), HoldOutOwn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := LOOCVWorkers(c, SchemeFull, DefaultTreeParams(), HoldOutOwn, 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				errs <- fmt.Errorf("concurrent LOOCV caller diverged from serial result")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

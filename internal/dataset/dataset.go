@@ -7,13 +7,16 @@ package dataset
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"mapc/internal/cpusim"
 	"mapc/internal/features"
 	"mapc/internal/gpusim"
 	"mapc/internal/mica"
 	"mapc/internal/ml"
+	"mapc/internal/parallel"
 	"mapc/internal/perfmon"
 	"mapc/internal/trace"
 	"mapc/internal/vision"
@@ -80,6 +83,31 @@ type Config struct {
 	// The paper replicates in arbitrary order; canonical ordering is an
 	// extension studied in the ablation benches.
 	CanonicalOrder bool
+	// Workers bounds the measurement engine's goroutine pool: how many
+	// simulator runs Generate executes concurrently. 0 (the zero value)
+	// selects runtime.NumCPU(); 1 is the exact legacy serial path.
+	// Corpus contents and ordering are bit-for-bit identical for every
+	// worker count — results are written by bag index and every
+	// simulator RNG is seeded per member, never shared across
+	// goroutines.
+	Workers int
+	// Benchmarks optionally restricts generation to a subset of the
+	// Table-II suite (canonical vision benchmark names). Nil or empty
+	// means all nine. Primarily for tests and partial regenerations.
+	Benchmarks []string
+}
+
+// EffectiveWorkers resolves the configured worker count: values <= 0 mean
+// runtime.NumCPU().
+func (c Config) EffectiveWorkers() int { return parallel.Resolve(c.Workers) }
+
+// BenchmarkNames returns the effective benchmark list: Config.Benchmarks if
+// set, otherwise the full Table-II suite, always as a fresh slice.
+func (c Config) BenchmarkNames() []string {
+	if len(c.Benchmarks) == 0 {
+		return vision.Names()
+	}
+	return append([]string(nil), c.Benchmarks...)
 }
 
 // DefaultConfig reproduces the paper's 91-run corpus: 45 homogeneous points
@@ -94,6 +122,7 @@ func DefaultConfig() Config {
 		Seed:           42,
 		MixedPairs:     10,
 		CanonicalOrder: true,
+		Workers:        runtime.NumCPU(),
 	}
 }
 
@@ -106,10 +135,25 @@ type measurement struct {
 	gpu      gpusim.Result
 }
 
-// Generator builds corpora; it caches instrumented runs across points.
+// measureEntry is one singleflight slot of the memoized measurement cache:
+// the sync.Once guarantees the member's instrumented run and isolated
+// simulations execute exactly once even when concurrent bags share the
+// member.
+type measureEntry struct {
+	once sync.Once
+	mm   *measurement
+	err  error
+}
+
+// Generator builds corpora; it caches instrumented runs across points. All
+// methods are safe for concurrent use: the measurement memo is a
+// singleflight map, and every simulator run operates on private clones of
+// the cached workloads.
 type Generator struct {
-	cfg   Config
-	cache map[Member]*measurement
+	cfg Config
+
+	mu    sync.Mutex // guards cache map structure only
+	cache map[Member]*measureEntry
 }
 
 // NewGenerator returns a generator for the given config.
@@ -126,14 +170,39 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Threads <= 0 {
 		return nil, fmt.Errorf("dataset: non-positive thread count")
 	}
-	return &Generator{cfg: cfg, cache: map[Member]*measurement{}}, nil
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("dataset: negative worker count %d", cfg.Workers)
+	}
+	for _, n := range cfg.Benchmarks {
+		if _, err := vision.ByName(n); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+	}
+	return &Generator{cfg: cfg, cache: map[Member]*measureEntry{}}, nil
 }
 
-// measure returns the cached isolated measurement for member m.
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// measure returns the memoized isolated measurement for member m, computing
+// it exactly once (singleflight) no matter how many goroutines ask.
 func (g *Generator) measure(m Member) (*measurement, error) {
-	if got, ok := g.cache[m]; ok {
-		return got, nil
+	g.mu.Lock()
+	e, ok := g.cache[m]
+	if !ok {
+		e = &measureEntry{}
+		g.cache[m] = e
 	}
+	g.mu.Unlock()
+	e.once.Do(func() { e.mm, e.err = g.runMeasurement(m) })
+	return e.mm, e.err
+}
+
+// runMeasurement performs member m's instrumented benchmark run and
+// isolated CPU/GPU simulations. The vision RNG is seeded per call from the
+// config seed, so concurrent measurements of different members never share
+// generator state.
+func (g *Generator) runMeasurement(m Member) (*measurement, error) {
 	b, err := vision.ByName(m.Benchmark)
 	if err != nil {
 		return nil, err
@@ -154,9 +223,7 @@ func (g *Generator) measure(m Member) (*measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	mm := &measurement{workload: res.Workload, mix: mix, cpu: cpuRes[0], gpu: gpuRes[0]}
-	g.cache[m] = mm
-	return mm, nil
+	return &measurement{workload: res.Workload, mix: mix, cpu: cpuRes[0], gpu: gpuRes[0]}, nil
 }
 
 // Workload returns the cached instrumented workload for member m, running
@@ -292,67 +359,108 @@ func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
 	}, nil
 }
 
-// Generate builds the full corpus: homogeneous points for every
-// (benchmark, batch), heterogeneous same-batch pairs at the standard batch,
-// and MixedPairs extra mixed-batch pairs.
-func (g *Generator) Generate() (*Corpus, error) {
-	names := vision.Names()
-	var points []Point
+// Bags enumerates the corpus's 2-application bags in their canonical
+// order: homogeneous points for every (benchmark, batch), heterogeneous
+// same-batch pairs with the batch cycling through the sweep, then the
+// MixedPairs extra mixed-batch pairs. Enumeration is pure — no simulator
+// runs — and its order is what makes parallel generation reproducible:
+// point i of the corpus is always bag i of this list.
+func (g *Generator) Bags() ([][2]Member, error) {
+	names := g.cfg.BenchmarkNames()
+	var bags [][2]Member
 
-	// Homogeneous: 9 benchmarks x len(BatchSizes).
+	// Homogeneous: every benchmark x len(BatchSizes).
 	for _, n := range names {
 		for _, bs := range g.cfg.BatchSizes {
 			m := Member{Benchmark: n, Batch: bs}
-			p, err := g.MeasurePoint(m, m)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, p)
+			bags = append(bags, [2]Member{m, m})
 		}
 	}
 
-	// Heterogeneous, equal-batch: all C(9,2)=36 pairs, with the batch
-	// size cycling through the sweep so the pairs cover the same input
-	// range as the homogeneous points ("different combinations of batch
+	// Heterogeneous, equal-batch: all C(n,2) pairs, with the batch size
+	// cycling through the sweep so the pairs cover the same input range
+	// as the homogeneous points ("different combinations of batch
 	// sizes", Section V-B).
 	pairNo := 0
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
 			bs := g.cfg.BatchSizes[pairNo%len(g.cfg.BatchSizes)]
 			pairNo++
-			p, err := g.MeasurePoint(
-				Member{Benchmark: names[i], Batch: bs},
-				Member{Benchmark: names[j], Batch: bs},
-			)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, p)
+			bags = append(bags, [2]Member{
+				{Benchmark: names[i], Batch: bs},
+				{Benchmark: names[j], Batch: bs},
+			})
 		}
 	}
 
-	// Heterogeneous, mixed batches: walk pair and batch combinations in a
-	// fixed pattern for the requested count.
-	if len(g.cfg.BatchSizes) > 2 {
-		added := 0
-		for k := 0; added < g.cfg.MixedPairs; k++ {
-			i := k % len(names)
-			j := (k*3 + 1) % len(names)
-			if i == j {
-				continue
-			}
-			ba := g.cfg.BatchSizes[1+(k%(len(g.cfg.BatchSizes)-1))]
-			bb := g.cfg.BatchSizes[1+((k+2)%(len(g.cfg.BatchSizes)-1))]
-			p, err := g.MeasurePoint(
-				Member{Benchmark: names[i], Batch: ba},
-				Member{Benchmark: names[j], Batch: bb},
-			)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, p)
-			added++
+	mixed, err := mixedBags(names, g.cfg.BatchSizes, g.cfg.MixedPairs)
+	if err != nil {
+		return nil, err
+	}
+	return append(bags, mixed...), nil
+}
+
+// mixedBags enumerates the heterogeneous mixed-batch pairs: a fixed
+// pseudo-pattern walk over (pair, batch) combinations, skipped entirely
+// (like the legacy generator) when fewer than three batch sizes are
+// configured. The walk is bounded: with a degenerate registry (e.g. a
+// single benchmark, where every candidate pair collides) the legacy loop
+// spun forever; now it returns a descriptive error.
+func mixedBags(names []string, batchSizes []int, count int) ([][2]Member, error) {
+	if count <= 0 || len(batchSizes) <= 2 {
+		return nil, nil
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no benchmarks to build %d mixed-batch pairs from", count)
+	}
+	// Every full cycle of len(names) steps visits at least one non-colliding
+	// (i, j) pair when len(names) > 1, so count+1 cycles (scaled by the
+	// batch period for slack) always suffice for feasible configurations.
+	maxSteps := (count + 1) * len(names) * len(batchSizes)
+	var out [][2]Member
+	added := 0
+	for k := 0; added < count && k < maxSteps; k++ {
+		i := k % len(names)
+		j := (k*3 + 1) % len(names)
+		if i == j {
+			continue
 		}
+		ba := batchSizes[1+(k%(len(batchSizes)-1))]
+		bb := batchSizes[1+((k+2)%(len(batchSizes)-1))]
+		out = append(out, [2]Member{
+			{Benchmark: names[i], Batch: ba},
+			{Benchmark: names[j], Batch: bb},
+		})
+		added++
+	}
+	if added < count {
+		return nil, fmt.Errorf(
+			"dataset: assembled only %d of %d mixed-batch pairs after %d walk steps (%d benchmarks, %d batch sizes): every candidate pair collides",
+			added, count, maxSteps, len(names), len(batchSizes))
+	}
+	return out, nil
+}
+
+// Generate builds the full corpus over the measurement engine's worker
+// pool: the bag list is enumerated up front, Config.Workers goroutines
+// measure bags concurrently, and each result is written to its bag's index,
+// so the corpus is bit-for-bit identical to a Workers=1 serial run.
+func (g *Generator) Generate() (*Corpus, error) {
+	bags, err := g.Bags()
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Point, len(bags))
+	err = parallel.ForEach(g.cfg.Workers, len(bags), func(i int) error {
+		p, err := g.MeasurePoint(bags[i][0], bags[i][1])
+		if err != nil {
+			return err
+		}
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	fnames, err := features.Names(2)

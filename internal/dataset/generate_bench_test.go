@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkGenerateCorpus measures corpus-generation throughput
+// (points/sec) at Workers=1 (the legacy serial path) versus
+// Workers=NumCPU. Each iteration builds a fresh generator so the memoized
+// measurement cache is cold, matching a real `mapc-datagen` invocation.
+//
+// On a multi-core runner the NumCPU variant should report >= 2x the
+// points/sec of the serial one; on a single-core machine the two are
+// equivalent by construction (the corpus is bit-identical either way).
+//
+// Run with:
+//
+//	go test ./internal/dataset -bench BenchmarkGenerateCorpus -benchtime 1x
+func BenchmarkGenerateCorpus(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Workers = workers
+			var points int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gen, err := NewGenerator(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := gen.Generate()
+				if err != nil {
+					b.Fatal(err)
+				}
+				points += len(c.Points)
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(points)/sec, "points/sec")
+			}
+		})
+	}
+}

@@ -77,8 +77,10 @@ func (t *Table) Render(w io.Writer) error {
 }
 
 // Env shares expensive state (the generator's workload cache and the
-// corpus) across figures. It is safe for sequential use; figures that need
-// the corpus trigger a one-time generation.
+// corpus) across figures. It is safe for concurrent use: each cached
+// artifact sits behind a sync.Once, and the underlying generator, corpus
+// generation, and LOOCV all run on the race-clean parallel measurement
+// engine (Config.Workers bounds each sweep's goroutine pool).
 type Env struct {
 	Cfg dataset.Config
 
@@ -135,8 +137,8 @@ func (e *Env) LOOCV() ([]core.LOOCVResult, error) {
 			e.loocvErr = err
 			return
 		}
-		e.loocv, e.loocvErr = core.LOOCV(corpus, core.SchemeFull,
-			core.DefaultTreeParams(), core.HoldOutOwn)
+		e.loocv, e.loocvErr = core.LOOCVWorkers(corpus, core.SchemeFull,
+			core.DefaultTreeParams(), core.HoldOutOwn, e.Cfg.Workers)
 	})
 	return e.loocv, e.loocvErr
 }

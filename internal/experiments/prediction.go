@@ -33,13 +33,18 @@ func Figure4(e *Env) (*Table, error) {
 	return t, nil
 }
 
-// schemeError evaluates one scheme under the Figure-4 protocol.
+// schemeError evaluates one scheme under the Figure-4 protocol, running
+// folds on the environment's worker pool.
 func schemeError(e *Env, s core.Scheme) (float64, error) {
 	corpus, err := e.Corpus()
 	if err != nil {
 		return 0, err
 	}
-	return core.EvaluateScheme(corpus, s, core.DefaultTreeParams(), core.HoldOutOwn)
+	res, err := core.LOOCVWorkers(corpus, s, core.DefaultTreeParams(), core.HoldOutOwn, e.Cfg.Workers)
+	if err != nil {
+		return 0, err
+	}
+	return core.MeanLOOCVError(res), nil
 }
 
 // Figure5 reproduces the related-work comparison of Figure 5: the four

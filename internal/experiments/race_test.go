@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mapc/internal/dataset"
+)
+
+// raceEnvConfig is deliberately tiny: the hammer tests below regenerate
+// real simulator measurements, and under -race everything runs several
+// times slower.
+func raceEnvConfig() dataset.Config {
+	cfg := dataset.DefaultConfig()
+	cfg.Benchmarks = []string{"fast", "hog", "knn"}
+	cfg.BatchSizes = []int{20, 40}
+	cfg.MixedPairs = 0
+	cfg.Workers = 2
+	return cfg
+}
+
+// TestEnvCachesConcurrent hammers every sync.Once-guarded Env cache from
+// concurrent goroutines: all callers must observe the same cached pointers
+// (one generation each) and identical values. Run under -race in CI.
+func TestEnvCachesConcurrent(t *testing.T) {
+	e := NewEnv(raceEnvConfig())
+	const goroutines = 12
+	type snapshot struct {
+		gen    any
+		corpus *dataset.Corpus
+		loocv  any
+		cpu    map[string][]float64
+		gpu    map[string][]float64
+	}
+	snaps := make([]snapshot, goroutines)
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			gen, err := e.Generator()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			corpus, err := e.Corpus()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			loocv, err := e.LOOCV()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cpu, gpu, err := e.scalingPerf()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			snaps[gi] = snapshot{gen: gen, corpus: corpus, loocv: loocv, cpu: cpu, gpu: gpu}
+		}(gi)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for gi := 1; gi < goroutines; gi++ {
+		if snaps[gi].corpus != snaps[0].corpus {
+			t.Fatalf("goroutine %d observed a different corpus: Once cache broken", gi)
+		}
+		if snaps[gi].gen != snaps[0].gen {
+			t.Fatalf("goroutine %d observed a different generator", gi)
+		}
+		if !reflect.DeepEqual(snaps[gi].loocv, snaps[0].loocv) {
+			t.Fatalf("goroutine %d observed different LOOCV results", gi)
+		}
+		if !reflect.DeepEqual(snaps[gi].cpu, snaps[0].cpu) ||
+			!reflect.DeepEqual(snaps[gi].gpu, snaps[0].gpu) {
+			t.Fatalf("goroutine %d observed different scaling caches", gi)
+		}
+	}
+}
+
+// TestEnvFiguresConcurrent regenerates overlapping figures from
+// t.Parallel() subtests sharing one Env — the pattern a concurrent report
+// server would use. Meaningful under -race.
+func TestEnvFiguresConcurrent(t *testing.T) {
+	e := NewEnv(raceEnvConfig())
+	figures := []string{"figure1", "figure2", "figure3", "figure4", "figure1", "figure4"}
+	t.Run("group", func(t *testing.T) {
+		for i, id := range figures {
+			id := id
+			t.Run(fmt.Sprintf("%s-%d", id, i), func(t *testing.T) {
+				t.Parallel()
+				tb, err := Run(e, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table", id)
+				}
+			})
+		}
+	})
+
+	// Cross-check against a fresh serial environment: parallel regeneration
+	// must not change any cell.
+	serialCfg := raceEnvConfig()
+	serialCfg.Workers = 1
+	se := NewEnv(serialCfg)
+	for _, id := range []string{"figure1", "figure2", "figure3", "figure4"} {
+		got, err := Run(e, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(se, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Rows, want.Rows) {
+			t.Errorf("%s: parallel rows differ from serial rows", id)
+		}
+	}
+}

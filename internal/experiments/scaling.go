@@ -5,6 +5,7 @@ import (
 
 	"mapc/internal/cpusim"
 	"mapc/internal/gpusim"
+	"mapc/internal/parallel"
 	"mapc/internal/trace"
 	"mapc/internal/vision"
 )
@@ -26,13 +27,23 @@ func (e *Env) scalingPerf() (cpu, gpu map[string][]float64, err error) {
 	return e.scalingCPU, e.scalingGPU, e.scalingErr
 }
 
+// computeScaling sweeps every configured benchmark's 1..MaxInstances
+// homogeneous concurrency on both simulated platforms. Benchmarks fan out
+// over the measurement engine's worker pool (Config.Workers); each worker
+// simulates private workload clones and writes its results by benchmark
+// index, so the cached maps are identical for every worker count.
 func (e *Env) computeScaling() (cpu, gpu map[string][]float64, err error) {
-	cpu = map[string][]float64{}
-	gpu = map[string][]float64{}
-	for _, b := range vision.All() {
+	names := e.Cfg.BenchmarkNames()
+	cpuRows := make([][]float64, len(names))
+	gpuRows := make([][]float64, len(names))
+	err = parallel.ForEach(e.Cfg.Workers, len(names), func(bi int) error {
+		b, err := vision.ByName(names[bi])
+		if err != nil {
+			return err
+		}
 		res, err := vision.Run(b, scalingBatch, e.Cfg.Seed)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		w := res.Workload
 		cpuPerf := make([]float64, MaxInstances)
@@ -46,11 +57,11 @@ func (e *Env) computeScaling() (cpu, gpu map[string][]float64, err error) {
 			}
 			cr, err := cpusim.Run(e.Cfg.CPU, apps)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			gr, err := gpusim.Run(e.Cfg.GPU, gws)
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			// The paper plots each instance's performance; with a
 			// homogeneous bag all instances are statistically
@@ -58,8 +69,18 @@ func (e *Env) computeScaling() (cpu, gpu map[string][]float64, err error) {
 			cpuPerf[n-1] = cr[0].Performance()
 			gpuPerf[n-1] = gr[0].Performance()
 		}
-		cpu[b.Name()] = normalizeTo1(cpuPerf)
-		gpu[b.Name()] = normalizeTo1(gpuPerf)
+		cpuRows[bi] = normalizeTo1(cpuPerf)
+		gpuRows[bi] = normalizeTo1(gpuPerf)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	cpu = make(map[string][]float64, len(names))
+	gpu = make(map[string][]float64, len(names))
+	for bi, name := range names {
+		cpu[name] = cpuRows[bi]
+		gpu[name] = gpuRows[bi]
 	}
 	return cpu, gpu, nil
 }
@@ -99,7 +120,7 @@ func Figure1(e *Env) (*Table, error) {
 			"paper shape: CPU degradation is mild and benchmark-dependent; far gentler than the GPU's",
 		},
 	}
-	for _, name := range vision.Names() {
+	for _, name := range e.Cfg.BenchmarkNames() {
 		row := []string{name}
 		for _, v := range cpu[name] {
 			row = append(row, fmt.Sprintf("%.3f", v))
@@ -123,7 +144,7 @@ func Figure2(e *Env) (*Table, error) {
 			"paper shape: GPU performance degrades steadily with instance count; cross-benchmark ordering stays roughly stable",
 		},
 	}
-	for _, name := range vision.Names() {
+	for _, name := range e.Cfg.BenchmarkNames() {
 		row := []string{name}
 		for _, v := range gpu[name] {
 			row = append(row, fmt.Sprintf("%.3f", v))
@@ -149,7 +170,11 @@ func Figure3(e *Env) (*Table, error) {
 			"paper shape: GPU beats CPU for most single-instance benchmarks with a few exceptions (branchy or poorly-parallel kernels), and the advantage shrinks as instances are added",
 		},
 	}
-	for _, b := range vision.All() {
+	for _, name := range e.Cfg.BenchmarkNames() {
+		b, err := vision.ByName(name)
+		if err != nil {
+			return nil, err
+		}
 		res, err := vision.Run(b, scalingBatch, e.Cfg.Seed)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,95 @@
+// Package parallel provides the bounded worker pool underlying the
+// measurement engine: deterministic, index-addressed fan-out used by corpus
+// generation (internal/dataset), LOOCV fold training (internal/core), and
+// the per-benchmark scaling sweeps (internal/experiments).
+//
+// The pool preserves serial semantics exactly: results are written by
+// index, so output order never depends on goroutine scheduling, and the
+// error returned is the one a serial loop would have returned (the error at
+// the lowest index). Callers can therefore flip between workers=1 and
+// workers=N and observe bit-for-bit identical outputs.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a configured worker count to an effective one: values <= 0
+// select runtime.NumCPU() (the default), anything else is returned as-is.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.NumCPU()
+	}
+	return workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a bounded pool of workers.
+//
+// Semantics:
+//   - workers <= 0 selects runtime.NumCPU(); workers == 1 runs the exact
+//     serial loop on the calling goroutine (the legacy path: no goroutines,
+//     no synchronization).
+//   - Indices are claimed in ascending order, so if fn(e) fails, every
+//     index < e has already been claimed; combined with returning the
+//     lowest-index error, the error value matches what the serial loop
+//     would have produced for deterministic fn.
+//   - After the first failure no new indices are claimed (in-flight calls
+//     finish), so a failing run does not pay for the whole sweep.
+//
+// fn must be safe for concurrent invocation when workers > 1; writes to
+// shared results must be disjoint per index.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Legacy serial path: identical to the pre-engine loops,
+		// including stopping at the first error.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.NumCPU() {
+		t.Errorf("Resolve(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(-3); got != runtime.NumCPU() {
+		t.Errorf("Resolve(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+}
+
+func TestForEachCoversAllIndicesInOrderSlots(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16, 100} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 137
+			out := make([]int, n)
+			err := ForEach(workers, n, func(i int) error {
+				out[i] = i*i + 1
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range out {
+				if v != i*i+1 {
+					t.Fatalf("slot %d holds %d", i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	calls := 0
+	if err := ForEach(4, 0, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(4, -5, func(int) error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn called %d times for empty ranges", calls)
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 64, func(i int) error {
+			switch i {
+			case 7:
+				return errLow
+			case 40:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want the lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsClaimingAfterFailure(t *testing.T) {
+	var calls atomic.Int64
+	err := ForEach(2, 10_000, func(i int) error {
+		calls.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	// In-flight work may finish, but the pool must not sweep the whole
+	// range after the failure is observed.
+	if c := calls.Load(); c > 1000 {
+		t.Errorf("%d calls after early failure", c)
+	}
+}
+
+func TestForEachSerialStopsAtFirstError(t *testing.T) {
+	var calls int
+	err := ForEach(1, 100, func(i int) error {
+		calls++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("serial path ran %d calls (err=%v), want exactly 4", calls, err)
+	}
+}
+
+// TestForEachConcurrentSafety hammers the pool itself from parallel tests;
+// meaningful under -race.
+func TestForEachConcurrentSafety(t *testing.T) {
+	for g := 0; g < 4; g++ {
+		t.Run(fmt.Sprintf("hammer-%d", g), func(t *testing.T) {
+			t.Parallel()
+			var sum atomic.Int64
+			if err := ForEach(8, 500, func(i int) error {
+				sum.Add(int64(i))
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(500 * 499 / 2); sum.Load() != want {
+				t.Fatalf("sum %d, want %d", sum.Load(), want)
+			}
+		})
+	}
+}

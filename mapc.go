@@ -79,8 +79,15 @@ const (
 )
 
 // DefaultConfig returns the paper-equivalent configuration: the Table-III
-// machines, batch sizes {20,40,80,160,320}, and the fixed dataset seed.
+// machines, batch sizes {20,40,80,160,320}, the fixed dataset seed, and a
+// measurement worker pool of runtime.NumCPU() goroutines. Set
+// Config.Workers to 1 for the exact legacy serial path; outputs are
+// bit-for-bit identical for every worker count.
 func DefaultConfig() Config { return dataset.DefaultConfig() }
+
+// DefaultWorkers resolves a Config.Workers value the way the measurement
+// engine does: values <= 0 select runtime.NumCPU().
+func DefaultWorkers(workers int) int { return Config{Workers: workers}.EffectiveWorkers() }
 
 // NewGenerator returns a measurement/corpus generator.
 func NewGenerator(cfg Config) (*Generator, error) { return dataset.NewGenerator(cfg) }
@@ -109,9 +116,17 @@ func TrainWithParams(c *Corpus, scheme Scheme, params TreeParams) (*Predictor, e
 	return core.Train(c, scheme, params)
 }
 
-// LOOCV runs the Figure-4 leave-one-benchmark-out protocol.
+// LOOCV runs the Figure-4 leave-one-benchmark-out protocol, training folds
+// on the default worker pool (runtime.NumCPU()).
 func LOOCV(c *Corpus, scheme Scheme, params TreeParams, protocol Protocol) ([]LOOCVResult, error) {
 	return core.LOOCV(c, scheme, params, protocol)
+}
+
+// LOOCVWorkers is LOOCV with an explicit fold-level worker bound
+// (0 = runtime.NumCPU(), 1 = serial). Fold results are bit-for-bit
+// identical for every worker count.
+func LOOCVWorkers(c *Corpus, scheme Scheme, params TreeParams, protocol Protocol, workers int) ([]LOOCVResult, error) {
+	return core.LOOCVWorkers(c, scheme, params, protocol, workers)
 }
 
 // MeanLOOCVError averages the per-benchmark LOOCV errors (the paper's
