@@ -1,11 +1,16 @@
-// Command mapc-predict trains the full-feature predictor and predicts the
-// GPU execution time of one 2-application bag, comparing the prediction
-// with the simulated ground truth.
+// Command mapc-predict trains (or loads) the decision-tree predictor and
+// predicts the GPU execution time of one 2-application bag, comparing the
+// prediction with the simulated ground truth.
+//
+// A loaded model must have been trained with the scheme named by -scheme
+// (default "full"): models persist their training scheme and feature count,
+// and a mismatch is refused loudly instead of silently mispredicting.
 //
 // Usage:
 //
 //	mapc-predict -a sift -b surf              # batch 20 each
 //	mapc-predict -a knn -abatch 80 -b svm -bbatch 40
+//	mapc-predict -model model.json            # model from mapc-train -o
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"mapc/internal/core"
 	"mapc/internal/dataset"
+	"mapc/internal/ml"
 )
 
 func main() {
@@ -22,9 +28,15 @@ func main() {
 	benchB := flag.String("b", "surf", "second benchmark")
 	batchA := flag.Int("abatch", 20, "first benchmark's batch size")
 	batchB := flag.Int("bbatch", 20, "second benchmark's batch size")
+	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
 	flag.Parse()
+
+	scheme, ok := core.SchemeByName(*schemeName)
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
@@ -38,13 +50,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// A model trained under a different scheme would accept the same
+		// full-width vectors yet answer a different question; refuse it.
+		if err := predictor.RequireScheme(scheme); err != nil {
+			fatal(err)
+		}
 	} else {
 		fmt.Fprintln(os.Stderr, "mapc-predict: generating training corpus...")
 		corpus, err := gen.Generate()
 		if err != nil {
 			fatal(err)
 		}
-		predictor, err = core.Train(corpus, core.SchemeFull, core.DefaultTreeParams())
+		predictor, err = core.Train(corpus, scheme, core.DefaultTreeParams())
 		if err != nil {
 			fatal(err)
 		}
@@ -69,14 +86,11 @@ func main() {
 	fmt.Printf("bag: %v + %v (fairness %.3f)\n", a, b, fairness)
 	fmt.Printf("predicted GPU bag time: %8.3f ms\n", pred*1e3)
 	fmt.Printf("simulated GPU bag time: %8.3f ms\n", truth.Y*1e3)
-	fmt.Printf("relative error:         %8.2f %%\n", abs(truth.Y-pred)/truth.Y*100)
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
+	if rel, ok := ml.PointRelativeError(truth.Y, pred); ok {
+		fmt.Printf("relative error:         %8.2f %%\n", rel)
+	} else {
+		fmt.Printf("relative error:              n/a (zero ground truth)\n")
 	}
-	return v
 }
 
 func fatal(err error) {

@@ -1,0 +1,165 @@
+// Command mapc-serve runs the HTTP prediction service: it warm-loads a
+// persisted model (mapc-train -o) or trains one at startup, then answers
+// GPU bag-time queries until SIGTERM/SIGINT, draining in-flight requests on
+// shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/predict  {"a":{"benchmark":"sift","batch":20},"b":{"benchmark":"surf","batch":20}}
+//	                  or {"bags":[{"a":…,"b":…},…]}
+//	GET  /healthz
+//	GET  /metrics
+//
+// Usage:
+//
+//	mapc-serve                              # train full-scheme model, :8080
+//	mapc-serve -model model.json            # warm-load; scheme must match -scheme
+//	mapc-serve -benchmarks sift,surf -batches 20,40   # fast-start subset
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mapc/internal/core"
+	"mapc/internal/dataset"
+	"mapc/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training at startup")
+	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
+	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial)")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/predict requests admitted before shedding with 503")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "maximum bags per request")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset for startup training (empty = full Table-II suite)")
+	batches := flag.String("batches", "", "comma-separated batch sizes for startup training (empty = 20,40,80,160,320)")
+	flag.Parse()
+
+	scheme, ok := core.SchemeByName(*schemeName)
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = *workers
+	if *benchmarks != "" {
+		cfg.Benchmarks = splitList(*benchmarks)
+	}
+	if *batches != "" {
+		bs, err := parseInts(*batches)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -batches: %w", err))
+		}
+		cfg.BatchSizes = bs
+		if len(bs) <= 2 {
+			cfg.MixedPairs = 0 // mixed-batch pairs need >= 3 sizes
+		}
+	}
+	gen, err := dataset.NewGenerator(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	var model *core.Predictor
+	if *modelPath != "" {
+		model, err = core.LoadFile(*modelPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Refuse a model trained under a different scheme loudly: it would
+		// accept the same full-width vectors yet answer a different
+		// question.
+		if err := model.RequireScheme(scheme); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mapc-serve: loaded model %s (scheme %s, %d features, trained on %d points)\n",
+			*modelPath, model.Scheme().Name, model.NumFeatures(), model.TrainedOnPoints())
+	} else {
+		fmt.Fprintf(os.Stderr, "mapc-serve: no -model; generating training corpus (%d workers)...\n", cfg.EffectiveWorkers())
+		t0 := time.Now()
+		corpus, err := gen.Generate()
+		if err != nil {
+			fatal(err)
+		}
+		model, err = core.Train(corpus, scheme, core.DefaultTreeParams())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mapc-serve: trained scheme-%s model on %d points in %v\n",
+			scheme.Name, model.TrainedOnPoints(), time.Since(t0).Round(time.Millisecond))
+	}
+
+	srv, err := serve.New(serve.Config{
+		Model:          model,
+		Generator:      gen,
+		MaxInFlight:    *maxInFlight,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	fmt.Fprintf(os.Stderr, "mapc-serve: listening on %s (scheme %s, max-inflight %d, timeout %v)\n",
+		*addr, model.Scheme().Name, *maxInFlight, *timeout)
+
+	select {
+	case err := <-errc:
+		fatal(err) // listener failed before any signal
+	case <-ctx.Done():
+		fmt.Fprintf(os.Stderr, "mapc-serve: signal received; draining in-flight requests (up to %v)...\n", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "mapc-serve: drained; bye")
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-serve:", err)
+	os.Exit(1)
+}

@@ -29,16 +29,8 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement/fold worker goroutines (0 = NumCPU, 1 = serial); results are identical for every value")
 	flag.Parse()
 
-	var scheme core.Scheme
-	found := false
-	for _, s := range core.Figure5Schemes() {
-		if s.Name == *schemeName {
-			scheme = s
-			found = true
-			break
-		}
-	}
-	if !found {
+	scheme, ok := core.SchemeByName(*schemeName)
+	if !ok {
 		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
 	}
 	protocol := core.HoldOutOwn

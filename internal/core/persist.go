@@ -7,16 +7,33 @@ import (
 	"io"
 	"os"
 
+	"mapc/internal/features"
 	"mapc/internal/ml"
 )
+
+// equalInts reports whether two int slices are element-wise equal.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // predictorJSON is the on-disk form of a trained Predictor: the fitted tree
 // plus everything needed to featurize fresh bags consistently (scheme,
 // column mapping, and the training corpus's time normalization constant).
+// NumFeatures records the expected raw input width so loaders can refuse
+// models whose feature contract disagrees with their column tables.
 type predictorJSON struct {
 	Format      string            `json:"format"`
 	SchemeName  string            `json:"scheme_name"`
 	SchemeKinds []string          `json:"scheme_kinds"`
+	NumFeatures int               `json:"num_features"`
 	Columns     []int             `json:"columns"`
 	ColumnNames []string          `json:"column_names"`
 	AllNames    []string          `json:"all_feature_names"`
@@ -33,6 +50,7 @@ func (p *Predictor) Save(w io.Writer) error {
 		Format:      predictorFormat,
 		SchemeName:  p.scheme.Name,
 		SchemeKinds: p.scheme.Kinds,
+		NumFeatures: len(p.allNames),
 		Columns:     p.cols,
 		ColumnNames: p.colNames,
 		AllNames:    p.allNames,
@@ -84,8 +102,41 @@ func Load(r io.Reader) (*Predictor, error) {
 			return nil, fmt.Errorf("core: serialized column index %d out of range", c)
 		}
 	}
+	// Feature-contract checks: the scheme, column table, declared width and
+	// fitted tree must all agree, otherwise predictions would silently read
+	// the wrong columns. Files written before num_features existed carry 0
+	// and skip only the width-declaration check.
+	if in.NumFeatures != 0 && in.NumFeatures != len(in.AllNames) {
+		return nil, fmt.Errorf("core: serialized predictor declares %d features but names %d",
+			in.NumFeatures, len(in.AllNames))
+	}
+	scheme := Scheme{Name: in.SchemeName, Kinds: in.SchemeKinds}
+	if scheme.Name == "" || len(scheme.Kinds) == 0 {
+		return nil, errors.New("core: serialized predictor has no feature scheme")
+	}
+	valid := map[string]bool{}
+	for _, k := range features.KindNames() {
+		valid[k] = true
+	}
+	for _, k := range scheme.Kinds {
+		if !valid[k] {
+			return nil, fmt.Errorf("core: serialized scheme %q has unknown feature kind %q", scheme.Name, k)
+		}
+	}
+	wantCols, err := scheme.Columns(in.AllNames)
+	if err != nil {
+		return nil, fmt.Errorf("core: serialized scheme %q does not resolve against its feature names: %w", scheme.Name, err)
+	}
+	if !equalInts(wantCols, in.Columns) {
+		return nil, fmt.Errorf("core: serialized scheme %q selects columns %v but file stores %v",
+			scheme.Name, wantCols, in.Columns)
+	}
+	if tw := in.Tree.NumFeatures(); tw != len(in.Columns) {
+		return nil, fmt.Errorf("core: serialized tree expects %d features but scheme %q selects %d columns",
+			tw, scheme.Name, len(in.Columns))
+	}
 	return &Predictor{
-		scheme:       Scheme{Name: in.SchemeName, Kinds: in.SchemeKinds},
+		scheme:       scheme,
 		cols:         in.Columns,
 		colNames:     in.ColumnNames,
 		allNames:     in.AllNames,

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,6 +73,88 @@ func TestPredictorSaveLoadFile(t *testing.T) {
 	}
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Error("missing file loaded")
+	}
+}
+
+// TestPersistSchemeRoundTripMismatch proves a saved model carries its
+// scheme + feature contract and that both load-time and predict-time
+// mismatches are refused loudly instead of silently mispredicting.
+func TestPersistSchemeRoundTripMismatch(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeInsmixCPU, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+
+	loaded, err := Load(strings.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.NumFeatures(); got != len(c.FeatureNames) {
+		t.Errorf("NumFeatures = %d, want corpus width %d", got, len(c.FeatureNames))
+	}
+	if !loaded.Scheme().Equal(SchemeInsmixCPU) {
+		t.Errorf("loaded scheme %q does not equal training scheme", loaded.Scheme().Name)
+	}
+
+	// A caller expecting the full scheme must get a scheme-mismatch error.
+	err = loaded.RequireScheme(SchemeFull)
+	if err == nil {
+		t.Fatal("RequireScheme(SchemeFull) accepted an insmix+cputime model")
+	}
+	if !strings.Contains(err.Error(), "scheme mismatch") {
+		t.Errorf("error %q does not mention scheme mismatch", err)
+	}
+	if err := loaded.RequireScheme(SchemeInsmixCPU); err != nil {
+		t.Errorf("matching scheme rejected: %v", err)
+	}
+
+	// Wrong-width raw vectors are refused with a descriptive error.
+	if _, err := loaded.PredictRaw(make([]float64, 3)); err == nil {
+		t.Error("PredictRaw accepted a 3-wide vector")
+	} else if !strings.Contains(err.Error(), "expects") {
+		t.Errorf("width error %q not descriptive", err)
+	}
+
+	// Tampered files whose scheme disagrees with the stored columns are
+	// refused at load time: drop the scheme's cpu_time kind so the kinds
+	// resolve to a different column set than the file stores.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(saved), &doc); err != nil {
+		t.Fatal(err)
+	}
+	kinds := doc["scheme_kinds"].([]any)
+	doc["scheme_kinds"] = kinds[:len(kinds)-1] // cpu_time is the last kind
+	tampered, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(tampered)); err == nil {
+		t.Error("load accepted a model whose scheme disagrees with its columns")
+	}
+
+	// An unknown feature kind is refused too.
+	doc["scheme_kinds"] = append(kinds[:len(kinds)-1:len(kinds)-1], "bogus_kind")
+	tampered, err = json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(tampered)); err == nil {
+		t.Error("load accepted a model with an unknown feature kind")
+	}
+
+	// A declared feature count that disagrees with the names is refused.
+	bad := strings.Replace(saved, `"num_features": `+fmt.Sprint(len(c.FeatureNames)), `"num_features": 7`, 1)
+	if bad == saved {
+		t.Fatal("num_features substitution failed")
+	}
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Error("load accepted num_features disagreeing with feature names")
 	}
 }
 

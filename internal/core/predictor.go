@@ -83,6 +83,27 @@ func trainOn(d *ml.Dataset, c *dataset.Corpus, scheme Scheme, params TreeParams)
 // Scheme returns the feature scheme the predictor was trained with.
 func (p *Predictor) Scheme() Scheme { return p.scheme }
 
+// NumFeatures returns the full corpus-vector width the predictor expects as
+// input to PredictRaw/PredictVector (the scheme's column subset is selected
+// internally).
+func (p *Predictor) NumFeatures() int { return len(p.allNames) }
+
+// TrainedOnPoints returns how many corpus points the model was fitted on.
+func (p *Predictor) TrainedOnPoints() int { return p.trainedOnPts }
+
+// RequireScheme returns a descriptive error unless the predictor was
+// trained with the given scheme. Callers that assume a particular feature
+// scheme (the CLIs' -scheme flag, the serving layer) use it to refuse a
+// mismatched saved model loudly instead of silently mispredicting.
+func (p *Predictor) RequireScheme(s Scheme) error {
+	if !p.scheme.Equal(s) {
+		return fmt.Errorf(
+			"core: scheme mismatch: model was trained with scheme %q (%d kinds), caller expects %q (%d kinds); retrain or pass the matching -scheme",
+			p.scheme.Name, len(p.scheme.Kinds), s.Name, len(s.Kinds))
+	}
+	return nil
+}
+
 // FeatureNames returns the names of the model's input columns.
 func (p *Predictor) FeatureNames() []string {
 	return append([]string(nil), p.colNames...)
@@ -105,7 +126,15 @@ func (p *Predictor) PredictVector(x []float64) (float64, error) {
 
 // PredictRaw predicts from a raw (un-normalized) full-width vector, e.g.
 // one produced by dataset.Generator.FeaturesFor. The vector is copied.
+// Vectors of the wrong width are rejected with a descriptive error naming
+// the model's scheme — a wrong-width vector means the caller featurized for
+// a different model and any prediction would be silently wrong.
 func (p *Predictor) PredictRaw(x []float64) (float64, error) {
+	if len(x) != len(p.allNames) {
+		return 0, fmt.Errorf(
+			"core: feature vector width %d, but model (scheme %q) expects %d raw corpus features",
+			len(x), p.scheme.Name, len(p.allNames))
+	}
 	cp := append([]float64(nil), x...)
 	if err := features.ScaleTimes(p.allNames, cp, p.timeDivisor); err != nil {
 		return 0, err
@@ -124,7 +153,8 @@ func (p *Predictor) PathVector(x []float64) ([]ml.DecisionStep, error) {
 
 func (p *Predictor) selectCols(x []float64) ([]float64, error) {
 	if len(x) != len(p.allNames) {
-		return nil, fmt.Errorf("core: vector width %d, corpus width %d", len(x), len(p.allNames))
+		return nil, fmt.Errorf("core: vector width %d, corpus width %d (model scheme %q)",
+			len(x), len(p.allNames), p.scheme.Name)
 	}
 	sel := make([]float64, len(p.cols))
 	for i, c := range p.cols {

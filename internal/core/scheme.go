@@ -52,6 +52,31 @@ func Figure5Schemes() []Scheme {
 	return []Scheme{SchemeInsmix, SchemeInsmixCPU, SchemeInsmixCPUFair, SchemeFull}
 }
 
+// SchemeByName resolves one of the Figure-5 scheme names ("insmix",
+// "insmix+cputime", "insmix+cputime+fairness", "full"). It is the shared
+// lookup behind every CLI's -scheme flag.
+func SchemeByName(name string) (Scheme, bool) {
+	for _, s := range Figure5Schemes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scheme{}, false
+}
+
+// Equal reports whether two schemes agree on both name and kind set
+// (order-sensitive: kinds are canonical Table-IV order everywhere).
+func (s Scheme) Equal(o Scheme) bool {
+	if s.Name != o.Name || len(s.Kinds) != len(o.Kinds) {
+		return false
+	}
+	for i := range s.Kinds {
+		if s.Kinds[i] != o.Kinds[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // NewScheme builds a scheme from kind names, validating each kind.
 func NewScheme(name string, kinds ...string) (Scheme, error) {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"mapc/internal/cpusim"
@@ -171,11 +172,20 @@ func NewGenerator(cfg Config) (*Generator, error) {
 		return nil, fmt.Errorf("dataset: non-positive thread count")
 	}
 	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("dataset: negative worker count %d", cfg.Workers)
+		return nil, fmt.Errorf("dataset: negative worker count %d (0 means NumCPU, 1 means serial)", cfg.Workers)
 	}
-	for _, n := range cfg.Benchmarks {
+	seen := make(map[string]int, len(cfg.Benchmarks))
+	for i, n := range cfg.Benchmarks {
+		if strings.TrimSpace(n) == "" {
+			return nil, fmt.Errorf("dataset: Benchmarks[%d] is empty; use a canonical Table-II benchmark name (one of %s)",
+				i, strings.Join(vision.Names(), ", "))
+		}
+		if j, dup := seen[n]; dup {
+			return nil, fmt.Errorf("dataset: Benchmarks[%d] duplicates Benchmarks[%d] (%q); each benchmark may appear once", i, j, n)
+		}
+		seen[n] = i
 		if _, err := vision.ByName(n); err != nil {
-			return nil, fmt.Errorf("dataset: %w", err)
+			return nil, fmt.Errorf("dataset: Benchmarks[%d]: %w", i, err)
 		}
 	}
 	return &Generator{cfg: cfg, cache: map[Member]*measureEntry{}}, nil

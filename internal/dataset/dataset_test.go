@@ -3,6 +3,7 @@ package dataset
 import (
 	"math"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
@@ -52,6 +53,45 @@ func TestGeneratorConfigValidation(t *testing.T) {
 	cfg.GPU.SMs = 0
 	if _, err := NewGenerator(cfg); err == nil {
 		t.Error("invalid GPU config accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Workers = -3
+	if _, err := NewGenerator(cfg); err == nil {
+		t.Error("negative worker count accepted")
+	} else if !strings.Contains(err.Error(), "-3") {
+		t.Errorf("negative-workers error %q does not name the value", err)
+	}
+}
+
+func TestGeneratorBenchmarksValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		benchmarks []string
+		wantSubstr string
+	}{
+		{"empty entry", []string{"sift", ""}, "Benchmarks[1] is empty"},
+		{"whitespace entry", []string{"  ", "surf"}, "Benchmarks[0] is empty"},
+		{"unknown entry", []string{"sift", "nosuchbench"}, "Benchmarks[1]"},
+		{"duplicate entry", []string{"sift", "surf", "sift"}, "duplicates"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Benchmarks = tc.benchmarks
+			_, err := NewGenerator(cfg)
+			if err == nil {
+				t.Fatalf("Benchmarks %v accepted", tc.benchmarks)
+			}
+			if !strings.Contains(err.Error(), tc.wantSubstr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantSubstr)
+			}
+		})
+	}
+	// The happy path still works with an explicit subset.
+	cfg := DefaultConfig()
+	cfg.Benchmarks = []string{"sift", "surf"}
+	if _, err := NewGenerator(cfg); err != nil {
+		t.Errorf("valid subset rejected: %v", err)
 	}
 }
 

@@ -64,6 +64,17 @@ func RelativeErrors(y, yhat []float64) ([]float64, error) {
 	return out, nil
 }
 
+// PointRelativeError returns the paper's per-point relative error
+// |truth-pred|/|truth|*100 and ok=false when truth is zero (the metric is
+// undefined there; CLIs print "n/a" instead of NaN/Inf). This is the shared
+// helper behind every single-point error report.
+func PointRelativeError(truth, pred float64) (relPct float64, ok bool) {
+	if truth == 0 {
+		return 0, false
+	}
+	return math.Abs((truth-pred)/truth) * 100, true
+}
+
 // MeanRelativeError returns the mean of RelativeErrors — the headline
 // metric of Figures 4-9.
 func MeanRelativeError(y, yhat []float64) (float64, error) {

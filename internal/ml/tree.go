@@ -280,6 +280,11 @@ func (t *TreeRegressor) FeatureImportances() ([]float64, error) {
 // NodeCount returns the number of nodes in the fitted tree.
 func (t *TreeRegressor) NodeCount() int { return len(t.nodes) }
 
+// NumFeatures returns the input width the fitted tree expects (0 before
+// Fit). Persistence layers use it to cross-check that a serialized tree
+// agrees with the feature columns stored alongside it.
+func (t *TreeRegressor) NumFeatures() int { return t.nFeature }
+
 // Depth returns the depth of the fitted tree (a lone root has depth 0).
 func (t *TreeRegressor) Depth() int {
 	if len(t.nodes) == 0 {

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync"
+
+	"mapc/internal/dataset"
+)
+
+// featureCache memoizes raw feature vectors per bag across requests. It
+// reuses the measurement engine's singleflight idiom (dataset.Generator's
+// per-member memo): each bag gets one entry whose sync.Once guarantees the
+// shared-CPU fairness simulation runs exactly once no matter how many
+// concurrent requests ask for the same bag. The generator underneath
+// additionally memoizes each member's isolated runs, so even a cache miss
+// on a new pairing of known members only pays for the shared run.
+type featureCache struct {
+	compute func(a, b dataset.Member) ([]float64, float64, error)
+	// canonical collapses (a,b)/(b,a) into one entry. Only safe when the
+	// generator's CanonicalOrder sorts members itself, making FeaturesFor
+	// symmetric.
+	canonical bool
+
+	mu      sync.Mutex // guards entries map structure only
+	entries map[[2]dataset.Member]*featureEntry
+}
+
+type featureEntry struct {
+	once     sync.Once
+	x        []float64
+	fairness float64
+	err      error
+}
+
+func newFeatureCache(gen *dataset.Generator) *featureCache {
+	return &featureCache{
+		compute:   gen.FeaturesFor,
+		canonical: gen.Config().CanonicalOrder,
+		entries:   map[[2]dataset.Member]*featureEntry{},
+	}
+}
+
+// key canonicalizes the bag when member order is irrelevant.
+func (c *featureCache) key(a, b dataset.Member) [2]dataset.Member {
+	if c.canonical && (b.Benchmark < a.Benchmark || (b.Benchmark == a.Benchmark && b.Batch < a.Batch)) {
+		a, b = b, a
+	}
+	return [2]dataset.Member{a, b}
+}
+
+// get returns the bag's raw feature vector and fairness, computing them at
+// most once. hit reports whether an entry already existed (the request
+// skipped re-simulation, modulo waiting for an in-progress first computation).
+// The returned slice is shared across requests — callers must not mutate it
+// (core.Predictor.PredictRaw copies before scaling).
+func (c *featureCache) get(a, b dataset.Member) (x []float64, fairness float64, hit bool, err error) {
+	k := c.key(a, b)
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &featureEntry{}
+		c.entries[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.x, e.fairness, e.err = c.compute(k[0], k[1]) })
+	return e.x, e.fairness, ok, e.err
+}
+
+// Len returns the number of cached bags (including in-progress entries).
+func (c *featureCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,410 @@
+// Package serve is the production prediction service over the trained
+// predictor: an HTTP layer that answers "how long will this 2-application
+// bag take on the GPU?" — the per-job query a multi-tenant scheduler issues
+// (Section V's end product, framed as an online service).
+//
+// The server warm-loads a persisted model (or the caller trains one at
+// startup), validates every request against the benchmark registry and the
+// model's feature contract, and serves:
+//
+//	POST /v1/predict  — single or batched bags, fanned out over the
+//	                    measurement worker pool
+//	GET  /healthz     — liveness + model identity
+//	GET  /metrics     — Prometheus-style text metrics (stdlib only)
+//
+// Robustness: a bounded in-flight limiter sheds load with 503 before work
+// is admitted, every request carries a deadline (504 on expiry), and
+// Shutdown drains in-flight requests for graceful SIGTERM handling.
+// Feature vectors are memoized across requests in a singleflight cache
+// layered on dataset.Generator's per-member memo, so repeated bags skip
+// re-simulation entirely.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mapc/internal/core"
+	"mapc/internal/dataset"
+	"mapc/internal/features"
+	"mapc/internal/parallel"
+	"mapc/internal/vision"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxInFlight    = 64
+	DefaultMaxBatch       = 64
+	DefaultRequestTimeout = 30 * time.Second
+	// maxBodyBytes bounds request bodies; a MaxBatch bag list is well
+	// under 1 MiB.
+	maxBodyBytes = 1 << 20
+)
+
+// Config configures a prediction server.
+type Config struct {
+	// Model is the trained predictor; required. Its feature contract must
+	// match the 2-application bag featurizer.
+	Model *core.Predictor
+	// Generator measures fresh bags; required. Its member-level memo is
+	// shared with the feature cache, so one long-lived generator serves
+	// every request.
+	Generator *dataset.Generator
+	// MaxInFlight bounds concurrently admitted /v1/predict requests;
+	// excess requests are shed with 503. 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBatch bounds bags per request (400 beyond it). 0 means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// RequestTimeout is the per-request deadline (504 on expiry). 0 means
+	// DefaultRequestTimeout.
+	RequestTimeout time.Duration
+	// Workers sizes the per-request measurement fan-out (parallel.ForEach
+	// semantics: 0 = NumCPU, 1 = serial).
+	Workers int
+}
+
+// Server is the HTTP prediction service. Create with New; all methods are
+// safe for concurrent use.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *featureCache
+	// featuresFn resolves a bag to its raw feature vector; defaults to the
+	// shared cache and is swappable in tests (e.g. to inject slowness).
+	featuresFn func(a, b dataset.Member) (x []float64, fairness float64, hit bool, err error)
+	inflight   chan struct{}
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+}
+
+// New validates the config and returns a ready-to-serve server. The model's
+// feature contract is checked against the 2-application featurizer here so
+// a mismatched model is refused at startup, not at first request.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, errors.New("serve: nil model")
+	}
+	if cfg.Generator == nil {
+		return nil, errors.New("serve: nil generator")
+	}
+	fnames, err := features.Names(2)
+	if err != nil {
+		return nil, err
+	}
+	if got := cfg.Model.NumFeatures(); got != len(fnames) {
+		return nil, fmt.Errorf(
+			"serve: model (scheme %q) expects %d raw features but the 2-app featurizer produces %d; the model was trained for a different bag shape",
+			cfg.Model.Scheme().Name, got, len(fnames))
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	s := &Server{
+		cfg:      cfg,
+		metrics:  NewMetrics(),
+		cache:    newFeatureCache(cfg.Generator),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.featuresFn = s.cachedFeatures
+	return s, nil
+}
+
+// cachedFeatures is the default featuresFn: the cross-request singleflight
+// cache with hit/miss accounting.
+func (s *Server) cachedFeatures(a, b dataset.Member) ([]float64, float64, bool, error) {
+	x, fairness, hit, err := s.cache.get(a, b)
+	if err == nil {
+		if hit {
+			s.metrics.CacheHit()
+		} else {
+			s.metrics.CacheMiss()
+		}
+	}
+	return x, fairness, hit, err
+}
+
+// Metrics exposes the server's metrics (for tests and embedding callers).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// ListenAndServe serves on addr until Shutdown or a listener error. It
+// always returns a non-nil error; after Shutdown it returns
+// http.ErrServerClosed like the stdlib server.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve serves on an existing listener (tests use port 0 listeners).
+func (s *Server) Serve(ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s.mu.Lock()
+	if s.httpSrv != nil {
+		s.mu.Unlock()
+		return errors.New("serve: Serve called twice")
+	}
+	s.httpSrv = srv
+	s.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// Shutdown gracefully stops the server: the listener closes immediately,
+// in-flight requests drain until ctx expires. Safe to call before Serve
+// (no-op) and concurrently with it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// memberJSON is one application instance in the wire format.
+type memberJSON struct {
+	Benchmark string `json:"benchmark"`
+	Batch     int    `json:"batch"`
+}
+
+func (m memberJSON) member() dataset.Member {
+	return dataset.Member{Benchmark: m.Benchmark, Batch: m.Batch}
+}
+
+// bagJSON is one 2-application bag.
+type bagJSON struct {
+	A memberJSON `json:"a"`
+	B memberJSON `json:"b"`
+}
+
+// predictRequest accepts either a single bag inline ({"a":…,"b":…}) or a
+// batch ({"bags":[…]}); both at once is allowed and the inline bag runs
+// first.
+type predictRequest struct {
+	A    *memberJSON `json:"a,omitempty"`
+	B    *memberJSON `json:"b,omitempty"`
+	Bags []bagJSON   `json:"bags,omitempty"`
+}
+
+// bagResult is one bag's answer.
+type bagResult struct {
+	A            memberJSON `json:"a"`
+	B            memberJSON `json:"b"`
+	PredictedSec float64    `json:"predicted_gpu_bag_time_sec"`
+	Fairness     float64    `json:"fairness"`
+	Cached       bool       `json:"cached"`
+}
+
+// predictResponse is the /v1/predict success body.
+type predictResponse struct {
+	ModelScheme string      `json:"model_scheme"`
+	Results     []bagResult `json:"results"`
+}
+
+// errorResponse is every non-2xx JSON body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parseBags validates and flattens the request into a bag list.
+func (s *Server) parseBags(req *predictRequest) ([]bagJSON, error) {
+	var bags []bagJSON
+	switch {
+	case req.A != nil && req.B != nil:
+		bags = append(bags, bagJSON{A: *req.A, B: *req.B})
+	case req.A != nil || req.B != nil:
+		return nil, errors.New("single-bag form requires both \"a\" and \"b\"")
+	}
+	bags = append(bags, req.Bags...)
+	if len(bags) == 0 {
+		return nil, errors.New("no bags: provide {\"a\":…,\"b\":…} or {\"bags\":[…]}")
+	}
+	if len(bags) > s.cfg.MaxBatch {
+		return nil, fmt.Errorf("batch of %d bags exceeds the limit of %d", len(bags), s.cfg.MaxBatch)
+	}
+	for i, bag := range bags {
+		for _, m := range []memberJSON{bag.A, bag.B} {
+			if strings.TrimSpace(m.Benchmark) == "" {
+				return nil, fmt.Errorf("bag %d: empty benchmark name", i)
+			}
+			if _, err := vision.ByName(m.Benchmark); err != nil {
+				return nil, fmt.Errorf("bag %d: %v (known: %s)", i, err, strings.Join(vision.Names(), ", "))
+			}
+			if m.Batch <= 0 {
+				return nil, fmt.Errorf("bag %d: non-positive batch %d for %s", i, m.Batch, m.Benchmark)
+			}
+		}
+	}
+	return bags, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := s.servePredict(w, r)
+	s.metrics.ObserveRequest(code, time.Since(start))
+}
+
+// servePredict does the work and returns the status code written.
+func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+	}
+
+	// Bounded admission: shed load before any decoding or simulation work.
+	select {
+	case s.inflight <- struct{}{}:
+	default:
+		s.metrics.RejectSaturated()
+		w.Header().Set("Retry-After", "1")
+		return writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight)})
+	}
+	defer func() { <-s.inflight }()
+	s.metrics.IncInFlight()
+	defer s.metrics.DecInFlight()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	var req predictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.RejectValidation()
+		return writeJSON(w, http.StatusBadRequest, errorResponse{"decoding request: " + err.Error()})
+	}
+	bags, err := s.parseBags(&req)
+	if err != nil {
+		s.metrics.RejectValidation()
+		return writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	}
+
+	// Fan the bags out over the measurement worker pool, bounded by the
+	// request deadline. Simulations are not cancellable mid-run; on
+	// timeout the goroutine finishes in the background and its results
+	// land in the cache for the retry.
+	results := make([]bagResult, len(bags))
+	done := make(chan error, 1)
+	go func() {
+		done <- parallel.ForEach(s.cfg.Workers, len(bags), func(i int) error {
+			if ctx.Err() != nil {
+				return ctx.Err() // deadline hit: stop claiming new bags
+			}
+			a, b := bags[i].A.member(), bags[i].B.member()
+			x, fairness, hit, err := s.featuresFn(a, b)
+			if err != nil {
+				return fmt.Errorf("bag %d (%v+%v): %w", i, a, b, err)
+			}
+			pred, err := s.cfg.Model.PredictRaw(x)
+			if err != nil {
+				return fmt.Errorf("bag %d (%v+%v): %w", i, a, b, err)
+			}
+			results[i] = bagResult{
+				A: bags[i].A, B: bags[i].B,
+				PredictedSec: pred, Fairness: fairness, Cached: hit,
+			}
+			return nil
+		})
+	}()
+
+	select {
+	case <-ctx.Done():
+		s.metrics.RejectTimeout()
+		return writeJSON(w, http.StatusGatewayTimeout,
+			errorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+	case err := <-done:
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.metrics.RejectTimeout()
+				return writeJSON(w, http.StatusGatewayTimeout,
+					errorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+			}
+			return writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		}
+	}
+	s.metrics.Predictions(len(bags))
+	return writeJSON(w, http.StatusOK, predictResponse{
+		ModelScheme: s.cfg.Model.Scheme().Name,
+		Results:     results,
+	})
+}
+
+// healthResponse is the /healthz body.
+type healthResponse struct {
+	Status          string  `json:"status"`
+	ModelScheme     string  `json:"model_scheme"`
+	ModelFeatures   int     `json:"model_features"`
+	TrainedOnPoints int     `json:"trained_on_points"`
+	CachedBags      int     `json:"cached_bags"`
+	InFlight        int64   `json:"in_flight"`
+	UptimeSec       float64 `json:"uptime_sec"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"}))
+		return
+	}
+	s.metrics.ObserveOther(writeJSON(w, http.StatusOK, healthResponse{
+		Status:          "ok",
+		ModelScheme:     s.cfg.Model.Scheme().Name,
+		ModelFeatures:   s.cfg.Model.NumFeatures(),
+		TrainedOnPoints: s.cfg.Model.TrainedOnPoints(),
+		CachedBags:      s.cache.Len(),
+		InFlight:        s.metrics.InFlight(),
+		UptimeSec:       time.Since(s.metrics.start).Seconds(),
+	}))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"}))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = s.metrics.WriteTo(w)
+	s.metrics.ObserveOther(http.StatusOK)
+}
+
+// writeJSON writes v with the status code and returns the code.
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return code
+}
