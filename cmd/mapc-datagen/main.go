@@ -16,12 +16,25 @@ import (
 	"strconv"
 
 	"mapc/internal/dataset"
+	"mapc/internal/profiling"
 )
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); output is identical for every value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of corpus generation to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mapc-datagen: profiling:", err)
+		}
+	}()
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers

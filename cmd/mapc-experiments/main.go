@@ -15,13 +15,26 @@ import (
 
 	"mapc/internal/dataset"
 	"mapc/internal/experiments"
+	"mapc/internal/profiling"
 )
 
 func main() {
 	only := flag.String("only", "", "regenerate a single artifact (e.g. figure5)")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); figures are identical for every value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of artifact regeneration to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "mapc-experiments: profiling:", err)
+		}
+	}()
 
 	if *list {
 		for _, g := range experiments.Generators() {

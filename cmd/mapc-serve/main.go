@@ -31,6 +31,7 @@ import (
 
 	"mapc/internal/core"
 	"mapc/internal/dataset"
+	"mapc/internal/profiling"
 	"mapc/internal/serve"
 )
 
@@ -45,7 +46,19 @@ func main() {
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset for startup training (empty = full Table-II suite)")
 	batches := flag.String("batches", "", "comma-separated batch sizes for startup training (empty = 20,40,80,160,320)")
+	pprofAddr := flag.String("pprof", "", "opt-in net/http/pprof listener on a separate loopback address (e.g. 127.0.0.1:6060); empty = disabled")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ln, err := profiling.ListenAndServe(*pprofAddr, func(err error) {
+			fmt.Fprintln(os.Stderr, "mapc-serve: pprof:", err)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "mapc-serve: pprof listening on http://%s/debug/pprof/ (loopback only)\n", ln.Addr())
+	}
 
 	scheme, ok := core.SchemeByName(*schemeName)
 	if !ok {

@@ -15,6 +15,7 @@ package cpusim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mapc/internal/isa"
 	"mapc/internal/memsim"
@@ -431,34 +432,101 @@ func PhaseBreakdown(cfg Config, apps []App, app int) ([]PhaseTiming, error) {
 	return out, nil
 }
 
+// boundRef is one L2-miss reference headed for the shared LLC, tagged with
+// its producing phase.
+type boundRef struct {
+	phase int
+	addr  uint64
+}
+
+// simScratch holds the buffers simulateMemory reuses across calls: the
+// flat LLC-bound arena (worst case every sampled reference misses L2, so
+// the per-app capacity bound is exact and known up front) and the per-phase
+// address batch Stream.Fill writes into. Pooled because corpus generation
+// calls simulateMemory thousands of times, potentially from concurrent
+// measurement workers.
+type simScratch struct {
+	bound []boundRef
+	addrs []uint64
+}
+
+// grow sizes the scratch buffers, reusing prior capacity, and returns the
+// LLC-bound arena with capacity total.
+func (s *simScratch) grow(total, maxPhase int) []boundRef {
+	if cap(s.bound) < total {
+		s.bound = make([]boundRef, total)
+	}
+	if cap(s.addrs) < maxPhase {
+		s.addrs = make([]uint64, maxPhase)
+	}
+	s.addrs = s.addrs[:cap(s.addrs)]
+	return s.bound[:cap(s.bound)]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
 // simulateMemory drives sampled synthetic streams for every phase of every
 // app through private L1/L2 hierarchies and one shared LLC, returning the
 // per-phase miss behaviour and per-app LLC statistics.
+//
+// The hot path is allocation-free: llcBound arenas are carved out of a
+// pooled scratch buffer at their exact worst-case capacity (SampleRefs is
+// a pure function of the workload), each phase's references arrive through
+// one batched Stream.Fill, and one private L1/L2 pair is Reset between
+// apps instead of reallocated (a fresh cache and a Reset cache are
+// state-identical).
 func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, error) {
 	llc, err := memsim.NewCache("llc", cfg.LLCytes, cfg.LLCWays, len(apps))
 	if err != nil {
 		return nil, nil, err
 	}
+	l1, err := memsim.NewCache("l1", cfg.L1Bytes, cfg.L1Ways, 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	l2, err := memsim.NewCache("l2", cfg.L2Bytes, cfg.L2Ways, 1)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	mem := make([][]phaseMem, len(apps))
-	// llcBound collects, per app, the interleavable L2-miss address lists
-	// of all phases (tagged with phase index).
-	type boundRef struct {
-		phase int
-		addr  uint64
-	}
-	llcBound := make([][]boundRef, len(apps))
-
+	counts := make([]int, len(apps))
+	total, maxPhase := 0, 0
 	for ai := range apps {
 		w := apps[ai].Workload
 		mem[ai] = make([]phaseMem, len(w.Phases))
-		l1, err := memsim.NewCache("l1", cfg.L1Bytes, cfg.L1Ways, 1)
-		if err != nil {
-			return nil, nil, err
+		for pi := range w.Phases {
+			if refs := w.Phases[pi].MemRefs(); refs > 0 {
+				k := memsim.SampleRefs(refs)
+				counts[ai] += k
+				if k > maxPhase {
+					maxPhase = k
+				}
+			}
 		}
-		l2, err := memsim.NewCache("l2", cfg.L2Bytes, cfg.L2Ways, 1)
-		if err != nil {
-			return nil, nil, err
+		total += counts[ai]
+	}
+
+	scratch := scratchPool.Get().(*simScratch)
+	defer scratchPool.Put(scratch)
+	arena := scratch.grow(total, maxPhase)
+
+	// llcBound collects, per app, the interleavable L2-miss address lists
+	// of all phases (tagged with phase index). Each app's list is a
+	// zero-length full-capacity window into the arena, so the appends
+	// below never reallocate and never cross into a neighbour's window.
+	llcBound := make([][]boundRef, len(apps))
+	off := 0
+	for ai := range apps {
+		llcBound[ai] = arena[off:off : off+counts[ai]]
+		off += counts[ai]
+	}
+
+	for ai := range apps {
+		w := apps[ai].Workload
+		if ai > 0 {
+			l1.Reset()
+			l2.Reset()
 		}
 		base := uint64(ai+1) << 40 // disjoint address spaces
 		for pi := range w.Phases {
@@ -474,9 +542,17 @@ func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, 
 			}
 			pf := memsim.NewStridePrefetcher(cfg.PrefetchDegree)
 			n := memsim.SampleRefs(refs)
+			if n == 0 {
+				// Explicit guard mirroring gpusim's pa.acc == 0 pattern:
+				// today unreachable (refs > 0 implies n >= 1), but the
+				// divides below must never see n == 0 even if SampleRefs
+				// grows a subsampling mode.
+				continue
+			}
+			addrs := scratch.addrs[:n]
+			st.Fill(addrs)
 			var l1m, l2m int
-			for k := 0; k < n; k++ {
-				a := st.Next()
+			for _, a := range addrs {
 				if l1.Access(0, a) {
 					continue
 				}
@@ -534,8 +610,11 @@ func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, 
 			if refs == 0 {
 				continue
 			}
-			n := float64(memsim.SampleRefs(refs))
-			pm.llcMiss = float64(pm.llcMissN) / n
+			n := memsim.SampleRefs(refs)
+			if n == 0 {
+				continue // see the matching guard above
+			}
+			pm.llcMiss = float64(pm.llcMissN) / float64(n)
 		}
 	}
 

@@ -23,6 +23,7 @@ package gpusim
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"mapc/internal/isa"
 	"mapc/internal/memsim"
@@ -516,9 +517,47 @@ func occupancyScale(occ float64) float64 {
 	return occ
 }
 
+// tagged is one sampled reference annotated with its producing phase, the
+// unit the interleaving loop consumes.
+type tagged struct {
+	phase int
+	addr  uint64
+}
+
+// simScratch holds the interleaving buffers simulateMemory reuses across
+// calls: the flat tagged-reference arena (all clients' streams, partitioned
+// by exact precomputed size) and the per-phase address batch Stream.Fill
+// writes into. Pooled because corpus generation calls simulateMemory
+// thousands of times, potentially from concurrent measurement workers.
+type simScratch struct {
+	refs  []tagged
+	addrs []uint64
+}
+
+// grow sizes the scratch buffers, reusing prior capacity, and returns the
+// tagged arena with length total.
+func (s *simScratch) grow(total, maxPhase int) []tagged {
+	if cap(s.refs) < total {
+		s.refs = make([]tagged, total)
+	}
+	if cap(s.addrs) < maxPhase {
+		s.addrs = make([]uint64, maxPhase)
+	}
+	s.addrs = s.addrs[:cap(s.addrs)]
+	return s.refs[:cap(s.refs)][:total]
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
 // simulateMemory interleaves every client's sampled reference stream into
 // the shared L2 and shared TLB, with periodic TLB flushes when more than
 // one client is resident.
+//
+// The hot path is allocation-free: per-client sample counts are exact
+// functions of the workload (SampleRefs is pure), so the stream arena is
+// sized once up front from a pooled scratch buffer, and each phase's
+// references are generated through one batched Stream.Fill instead of
+// per-reference appends.
 func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []memsim.CacheStats, []memsim.CacheStats, error) {
 	n := len(workloads)
 	l2, err := memsim.NewCache("gpul2", cfg.L2Bytes, cfg.L2Ways, n)
@@ -531,13 +570,30 @@ func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []me
 	}
 
 	mem := make([][]phaseMem, n)
-	type tagged struct {
-		phase int
-		addr  uint64
-	}
-	streams := make([][]tagged, n)
+	counts := make([]int, n)
+	total, maxPhase := 0, 0
 	for ai, w := range workloads {
 		mem[ai] = make([]phaseMem, len(w.Phases))
+		for pi := range w.Phases {
+			if refs := w.Phases[pi].MemRefs(); refs > 0 {
+				k := memsim.SampleRefs(refs)
+				counts[ai] += k
+				if k > maxPhase {
+					maxPhase = k
+				}
+			}
+		}
+		total += counts[ai]
+	}
+
+	scratch := scratchPool.Get().(*simScratch)
+	defer scratchPool.Put(scratch)
+	arena := scratch.grow(total, maxPhase)
+
+	streams := make([][]tagged, n)
+	pos := 0
+	for ai, w := range workloads {
+		start := pos
 		base := uint64(ai+1) << 40
 		for pi := range w.Phases {
 			p := &w.Phases[pi]
@@ -551,10 +607,14 @@ func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []me
 				return nil, nil, nil, err
 			}
 			k := memsim.SampleRefs(refs)
-			for j := 0; j < k; j++ {
-				streams[ai] = append(streams[ai], tagged{phase: pi, addr: st.Next()})
+			addrs := scratch.addrs[:k]
+			st.Fill(addrs)
+			for j, a := range addrs {
+				arena[pos+j] = tagged{phase: pi, addr: a}
 			}
+			pos += k
 		}
+		streams[ai] = arena[start:pos:pos]
 	}
 
 	// Interleave all clients proportionally; every reference consults the

@@ -8,6 +8,12 @@
 // LLC, T4 L2/TLB). Contention between concurrent applications emerges the
 // same way it does in hardware: interleaved streams from different sources
 // evict each other's lines from shared structures.
+//
+// The cache and TLB are the hottest code in the system — every corpus
+// point, LOOCV fold and serving-cache miss funnels millions of references
+// through them — so both are engineered for throughput under a strict
+// bit-identity contract with their original implementations (see
+// reference_test.go and the differential tests).
 package memsim
 
 import (
@@ -18,6 +24,17 @@ import (
 // LineSize is the cache line size in bytes used throughout the simulators.
 const LineSize = 64
 
+// line is one cache way. The metadata the way scan touches (tag, recency,
+// validity, owner) is fused into a single struct so a set's ways occupy
+// adjacent memory — one or two cache lines per simulated set instead of
+// four strided slices.
+type line struct {
+	tag   uint64
+	lru   uint64 // per-set logical clock; smallest in the set is the victim
+	src   int32  // source that installed the line
+	valid bool
+}
+
 // Cache is a set-associative cache with true-LRU replacement. It tracks
 // per-source hit/miss statistics so shared caches can attribute interference
 // to individual applications. The zero value is not usable; call NewCache.
@@ -27,20 +44,16 @@ type Cache struct {
 	ways     int
 	setShift uint
 	setMask  uint64
-	// tags[set*ways+way] holds the line tag; valid bit is tracked
-	// separately so tag 0 is usable.
-	tags  []uint64
-	valid []bool
-	// src[set*ways+way] records which source installed the line, for
-	// inter-source eviction accounting.
-	src []int
-	// lru[set*ways+way] is a per-set logical clock; the smallest value in
-	// a set is the LRU way.
-	lru   []uint64
+	// tagShift is bits.Len(sets-1), hoisted to construction time; the
+	// original recomputed it on every access.
+	tagShift uint
+	// lines[set*ways+way] holds the fused way metadata; the valid bit is
+	// tracked explicitly so tag 0 is usable.
+	lines []line
 	clock uint64
 
 	stats []CacheStats // indexed by source id
-	// evictions[victim] counts lines lost to any other source.
+	// crossEvictions[victim] counts lines lost to any other source.
 	crossEvictions []uint64
 }
 
@@ -80,10 +93,8 @@ func NewCache(name string, totalBytes int64, ways, nSources int) (*Cache, error)
 		ways:           ways,
 		setShift:       uint(bits.TrailingZeros(uint(LineSize))),
 		setMask:        uint64(sets - 1),
-		tags:           make([]uint64, sets*ways),
-		valid:          make([]bool, sets*ways),
-		src:            make([]int, sets*ways),
-		lru:            make([]uint64, sets*ways),
+		tagShift:       uint(bits.Len(uint(sets - 1))),
+		lines:          make([]line, sets*ways),
 		stats:          make([]CacheStats, nSources),
 		crossEvictions: make([]uint64, nSources),
 	}
@@ -93,35 +104,36 @@ func NewCache(name string, totalBytes int64, ways, nSources int) (*Cache, error)
 // Access looks up addr on behalf of source, installing the line on a miss.
 // It returns true on a hit.
 func (c *Cache) Access(source int, addr uint64) bool {
-	line := addr >> c.setShift
-	set := int(line & c.setMask)
-	tag := line >> uint(bits.Len(uint(c.sets-1)))
-	base := set * c.ways
+	ln := addr >> c.setShift
+	set := ln & c.setMask
+	tag := ln >> c.tagShift
+	base := int(set) * c.ways
 	c.clock++
 	c.stats[source].Accesses++
 
+	ways := c.lines[base : base+c.ways : base+c.ways]
 	lruWay, lruClock := 0, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.lru[i] = c.clock
+	for w := range ways {
+		l := &ways[w]
+		if l.valid && l.tag == tag {
+			l.lru = c.clock
 			return true
 		}
-		if c.lru[i] < lruClock {
-			lruClock = c.lru[i]
+		if l.lru < lruClock {
+			lruClock = l.lru
 			lruWay = w
 		}
 	}
 	// Miss: install over the LRU way.
 	c.stats[source].Misses++
-	i := base + lruWay
-	if c.valid[i] && c.src[i] != source {
-		c.crossEvictions[c.src[i]]++
+	l := &ways[lruWay]
+	if l.valid && l.src != int32(source) {
+		c.crossEvictions[l.src]++
 	}
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.src[i] = source
-	c.lru[i] = c.clock
+	l.tag = tag
+	l.valid = true
+	l.src = int32(source)
+	l.lru = c.clock
 	return false
 }
 
@@ -134,10 +146,7 @@ func (c *Cache) CrossEvictions(source int) uint64 { return c.crossEvictions[sour
 
 // Reset clears contents and statistics, keeping the geometry.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.lru[i] = 0
-	}
+	clear(c.lines)
 	for i := range c.stats {
 		c.stats[i] = CacheStats{}
 		c.crossEvictions[i] = 0

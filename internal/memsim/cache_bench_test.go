@@ -1,0 +1,64 @@
+package memsim
+
+import (
+	"testing"
+
+	"mapc/internal/xrand"
+)
+
+// Cache microbenchmarks mirror the TLB suite: hit-heavy (footprint fits),
+// miss-heavy (streaming lines), and multi-source contention — the regimes
+// the shared-LLC (cpusim) and shared-L2 (gpusim) interleaving loops drive.
+// Geometry matches gpusim.DefaultConfig's T4 L2 (4 MiB, 16 ways).
+
+func benchCacheAddrs(lines int, seed uint64) []uint64 {
+	rng := xrand.New(seed)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = (rng.Uint64() % uint64(lines)) * LineSize
+	}
+	return addrs
+}
+
+func benchCache(b *testing.B, sources int) *Cache {
+	b.Helper()
+	c, err := NewCache("bench-l2", 4<<20, 16, sources)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkCacheAccessHitHeavy(b *testing.B) {
+	c := benchCache(b, 1)
+	// Working set = 1/4 of capacity: after warm-up nearly every access hits.
+	addrs := benchCacheAddrs((4<<20)/LineSize/4, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0, addrs[i&(len(addrs)-1)])
+	}
+}
+
+func BenchmarkCacheAccessMissHeavy(b *testing.B) {
+	c := benchCache(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Streaming: distinct lines forever, every access past warm-up
+		// misses and evicts.
+		c.Access(0, uint64(i)*LineSize)
+	}
+}
+
+func BenchmarkCacheAccessMultiSource(b *testing.B) {
+	const sources = 4
+	c := benchCache(b, sources)
+	// 2x capacity shared by 4 clients: heavy cross-source eviction.
+	addrs := benchCacheAddrs((4<<20)/LineSize*2, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(i&(sources-1), addrs[i&(len(addrs)-1)])
+	}
+}

@@ -1,7 +1,5 @@
 package memsim
 
-import "math/bits"
-
 // StridePrefetcher is a classic confidence-based stride prefetcher: it
 // observes a demand-miss address stream at line granularity, and once two
 // consecutive misses exhibit the same stride it emits prefetch candidates
@@ -68,30 +66,31 @@ func (p *StridePrefetcher) Issued() uint64 { return p.issued }
 // Install inserts addr's line into the cache on behalf of source without
 // touching the demand statistics — the path prefetch fills take.
 func (c *Cache) Install(source int, addr uint64) {
-	line := addr >> c.setShift
-	set := int(line & c.setMask)
-	tag := line >> uint(bits.Len(uint(c.sets-1)))
-	base := set * c.ways
+	ln := addr >> c.setShift
+	set := ln & c.setMask
+	tag := ln >> c.tagShift
+	base := int(set) * c.ways
 	c.clock++
+	ways := c.lines[base : base+c.ways : base+c.ways]
 	lruWay, lruClock := 0, ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	for w := range ways {
+		l := &ways[w]
+		if l.valid && l.tag == tag {
 			// Already resident: refresh recency and return.
-			c.lru[i] = c.clock
+			l.lru = c.clock
 			return
 		}
-		if c.lru[i] < lruClock {
-			lruClock = c.lru[i]
+		if l.lru < lruClock {
+			lruClock = l.lru
 			lruWay = w
 		}
 	}
-	i := base + lruWay
-	if c.valid[i] && c.src[i] != source {
-		c.crossEvictions[c.src[i]]++
+	l := &ways[lruWay]
+	if l.valid && l.src != int32(source) {
+		c.crossEvictions[l.src]++
 	}
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.src[i] = source
-	c.lru[i] = c.clock
+	l.tag = tag
+	l.valid = true
+	l.src = int32(source)
+	l.lru = c.clock
 }

@@ -91,6 +91,17 @@ func (s *Stream) Next() uint64 {
 	return addr
 }
 
+// Fill writes the next len(dst) references into dst, in exactly the order
+// repeated Next calls would return them. The simulators batch their
+// per-phase sampling through one preallocated buffer instead of calling
+// Next in the interleave loops, keeping the hot path call- and
+// allocation-free.
+func (s *Stream) Fill(dst []uint64) {
+	for i := range dst {
+		dst[i] = s.Next()
+	}
+}
+
 func (s *Stream) remember(addr uint64) {
 	if s.recentN < len(s.recent) {
 		s.recent[s.recentN] = addr

@@ -5,20 +5,39 @@ import "fmt"
 // PageSize is the translation granule used by the TLB model.
 const PageSize = 4096
 
-// TLB is a fully-associative translation lookaside buffer with LRU
+// TLB is a fully-associative translation lookaside buffer with exact-LRU
 // replacement and per-source statistics. GPUs share TLBs across MPS clients
 // (Section II of the paper), so entries from different applications evict
 // one another; Flush models the context-switch flushes the paper identifies
 // as a major multi-application overhead.
+//
+// The implementation is O(1) per access: a map keyed on the packed
+// (page, source) pair locates the entry, and an intrusive doubly-linked
+// recency list threaded through the slot array yields the exact-LRU victim
+// without scanning. It is bit-identical to the original linear-scan design
+// (retained as refTLB in reference_test.go and enforced by the differential
+// tests): the original picked the entry with the smallest logical clock,
+// breaking ties by lowest index. Because only Flush/Reset invalidate — and
+// they invalidate everything — the tied (never-touched) entries are always
+// exactly the slots above nextFree, claimed in ascending order, and among
+// valid entries clock values are unique, so the list head *is* the
+// original's victim.
 type TLB struct {
-	entries int
-	pages   []uint64
-	srcs    []int
-	valid   []bool
-	lru     []uint64
-	clock   uint64
-	stats   []CacheStats
-	flushes uint64
+	entries  int
+	nSources uint64
+	slots    []tlbSlot
+	index    map[uint64]int32 // packed (page, source) -> slot
+	head     int32            // LRU end of the recency list (-1 when empty)
+	tail     int32            // MRU end (-1 when empty)
+	nextFree int              // slots[nextFree:] never used since last Flush/Reset
+	stats    []CacheStats
+	flushes  uint64
+}
+
+// tlbSlot is one TLB entry threaded onto the recency list.
+type tlbSlot struct {
+	key        uint64 // packed (page, source), see key()
+	prev, next int32  // recency-list neighbours (-1 = none)
 }
 
 // NewTLB builds a TLB with the given number of entries serving nSources.
@@ -27,13 +46,21 @@ func NewTLB(entries, nSources int) (*TLB, error) {
 		return nil, fmt.Errorf("memsim: invalid TLB config (entries=%d sources=%d)", entries, nSources)
 	}
 	return &TLB{
-		entries: entries,
-		pages:   make([]uint64, entries),
-		srcs:    make([]int, entries),
-		valid:   make([]bool, entries),
-		lru:     make([]uint64, entries),
-		stats:   make([]CacheStats, nSources),
+		entries:  entries,
+		nSources: uint64(nSources),
+		slots:    make([]tlbSlot, entries),
+		index:    make(map[uint64]int32, entries),
+		head:     -1,
+		tail:     -1,
+		stats:    make([]CacheStats, nSources),
 	}, nil
+}
+
+// key packs (page, source) into one map key. source < nSources, so the
+// packing is collision-free; pages derived from simulator addresses stay
+// far below the 2^64/nSources overflow bound.
+func (t *TLB) key(source int, page uint64) uint64 {
+	return page*t.nSources + uint64(source)
 }
 
 // Access translates addr for source, returning true on a TLB hit.
@@ -41,34 +68,74 @@ func NewTLB(entries, nSources int) (*TLB, error) {
 // MPS), so the (source, page) pair is the lookup key.
 func (t *TLB) Access(source int, addr uint64) bool {
 	page := addr / PageSize
-	t.clock++
 	t.stats[source].Accesses++
-	lruIdx, lruClock := 0, ^uint64(0)
-	for i := 0; i < t.entries; i++ {
-		if t.valid[i] && t.pages[i] == page && t.srcs[i] == source {
-			t.lru[i] = t.clock
-			return true
-		}
-		if t.lru[i] < lruClock {
-			lruClock = t.lru[i]
-			lruIdx = i
-		}
+	key := t.key(source, page)
+	if i, ok := t.index[key]; ok {
+		t.touch(i)
+		return true
 	}
 	t.stats[source].Misses++
-	t.pages[lruIdx] = page
-	t.srcs[lruIdx] = source
-	t.valid[lruIdx] = true
-	t.lru[lruIdx] = t.clock
+	var i int32
+	if t.nextFree < t.entries {
+		// Original semantics: invalid entries all carry clock 0 and win
+		// the victim scan at the lowest index — i.e. in ascending order.
+		i = int32(t.nextFree)
+		t.nextFree++
+	} else {
+		// All entries valid: evict the exact-LRU entry at the list head.
+		i = t.head
+		t.unlink(i)
+		delete(t.index, t.slots[i].key)
+	}
+	t.slots[i].key = key
+	t.index[key] = i
+	t.pushMRU(i)
 	return false
+}
+
+// touch moves slot i to the MRU end of the recency list.
+func (t *TLB) touch(i int32) {
+	if t.tail == i {
+		return
+	}
+	t.unlink(i)
+	t.pushMRU(i)
+}
+
+// unlink removes slot i from the recency list.
+func (t *TLB) unlink(i int32) {
+	s := &t.slots[i]
+	if s.prev >= 0 {
+		t.slots[s.prev].next = s.next
+	} else {
+		t.head = s.next
+	}
+	if s.next >= 0 {
+		t.slots[s.next].prev = s.prev
+	} else {
+		t.tail = s.prev
+	}
+}
+
+// pushMRU appends slot i at the MRU end of the recency list.
+func (t *TLB) pushMRU(i int32) {
+	s := &t.slots[i]
+	s.prev = t.tail
+	s.next = -1
+	if t.tail >= 0 {
+		t.slots[t.tail].next = i
+	} else {
+		t.head = i
+	}
+	t.tail = i
 }
 
 // Flush invalidates every entry, modelling a full TLB shootdown at an MPS
 // context boundary, and counts the event.
 func (t *TLB) Flush() {
-	for i := range t.valid {
-		t.valid[i] = false
-		t.lru[i] = 0
-	}
+	clear(t.index)
+	t.head, t.tail = -1, -1
+	t.nextFree = 0
 	t.flushes++
 }
 
@@ -83,13 +150,11 @@ func (t *TLB) Entries() int { return t.entries }
 
 // Reset clears contents and statistics.
 func (t *TLB) Reset() {
-	for i := range t.valid {
-		t.valid[i] = false
-		t.lru[i] = 0
-	}
+	clear(t.index)
+	t.head, t.tail = -1, -1
+	t.nextFree = 0
 	for i := range t.stats {
 		t.stats[i] = CacheStats{}
 	}
-	t.clock = 0
 	t.flushes = 0
 }

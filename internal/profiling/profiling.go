@@ -1,0 +1,122 @@
+// Package profiling wires the standard pprof producers into the CLIs: file
+// based CPU/heap profiles for batch tools (mapc-datagen, mapc-experiments)
+// and an opt-in loopback net/http/pprof listener for long-running servers
+// (mapc-serve). Everything is off unless explicitly requested by flag, and
+// the HTTP endpoint refuses non-loopback binds so a profiling port can
+// never be exposed publicly by accident.
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and arranges for a
+// heap profile to be written to memPath (if non-empty) when the returned
+// stop function runs. Either path may be empty; with both empty Start is a
+// no-op and the returned stop does nothing. Typical CLI use:
+//
+//	stop, err := profiling.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+//
+// stop is idempotent and returns the first error it encounters (profiles
+// are best-effort diagnostics; callers usually just log it).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: creating CPU profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: starting CPU profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var firstErr error
+		if cpuFile != nil {
+			rpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return firstErr
+			}
+			runtime.GC() // material allocations only: snapshot after a full GC
+			if err := rpprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// Handler returns the standard net/http/pprof mux (index, profile, heap,
+// goroutine, trace, symbol, cmdline) for mounting on a dedicated listener.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe starts the pprof handler on addr, which must resolve to a
+// loopback interface (e.g. "127.0.0.1:6060", "localhost:6060"): the
+// profiling surface exposes heap contents and must never face the network.
+// It returns the bound listener (so callers can log the resolved address
+// and close it on shutdown); serving proceeds on a background goroutine,
+// with serve errors reported to errf (may be nil).
+func ListenAndServe(addr string, errf func(error)) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: invalid -pprof address %q: %w", addr, err)
+	}
+	ips, err := net.LookupIP(host)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: resolving -pprof host %q: %w", host, err)
+	}
+	for _, ip := range ips {
+		if !ip.IsLoopback() {
+			return nil, fmt.Errorf("profiling: refusing non-loopback -pprof address %q (resolves to %s); bind 127.0.0.1 or localhost", addr, ip)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: listening on %q: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	go func() {
+		err := srv.Serve(ln)
+		// Closing the returned listener is the normal shutdown path, so
+		// net.ErrClosed (like http.ErrServerClosed) is not reportable.
+		if err != nil && err != http.ErrServerClosed && !errors.Is(err, net.ErrClosed) && errf != nil {
+			errf(err)
+		}
+	}()
+	return ln, nil
+}

@@ -1,0 +1,84 @@
+package profiling
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles are non-trivial.
+	var sink []byte
+	for i := 0; i < 2000; i++ {
+		sink = append(sink, make([]byte, 1024)...)
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartBadPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+		t.Fatal("unwritable CPU profile path accepted")
+	}
+}
+
+func TestListenAndServeLoopbackOnly(t *testing.T) {
+	if _, err := ListenAndServe("0.0.0.0:0", nil); err == nil {
+		t.Fatal("wildcard bind accepted; pprof must stay on loopback")
+	}
+	if _, err := ListenAndServe("notanaddress", nil); err == nil {
+		t.Fatal("garbage address accepted")
+	}
+
+	ln, err := ListenAndServe("127.0.0.1:0", func(err error) { t.Error(err) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", ln.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("pprof index empty")
+	}
+}

@@ -1,0 +1,287 @@
+// Command benchjson records Go benchmark results as JSON and gates CI on
+// regressions against a committed baseline.
+//
+// Record mode runs the memsim microbenchmarks and the corpus-generation
+// benchmark (or parses saved `go test -bench` output) and appends one
+// labelled entry to the baseline file:
+//
+//	go run ./scripts/benchjson -label after -out BENCH_baseline.json
+//	go run ./scripts/benchjson -label before -input old_bench.txt -out BENCH_baseline.json
+//
+// Check mode re-runs only the fast memsim microbenchmarks and fails (exit 1)
+// if any ns/op exceeds factor x the newest baseline entry. The corpus
+// points/sec figure is machine-dependent context and is never gated:
+//
+//	go run ./scripts/benchjson -check BENCH_baseline.json            # default -factor 2
+//
+// Only the Go toolchain and stdlib are required.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one labelled benchmark snapshot.
+type Entry struct {
+	Label              string             `json:"label"`
+	Date               string             `json:"date"`
+	CorpusPointsPerSec float64            `json:"corpus_points_per_sec,omitempty"`
+	MicrobenchNsPerOp  map[string]float64 `json:"microbench_ns_per_op"`
+}
+
+// Baseline is the schema of BENCH_baseline.json.
+type Baseline struct {
+	Machine string  `json:"machine"`
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	label := flag.String("label", "", "record mode: append an entry with this label to -out")
+	out := flag.String("out", "BENCH_baseline.json", "record mode: baseline file to create or append to")
+	input := flag.String("input", "", "record mode: comma-separated saved `go test -bench` output files to parse instead of running benchmarks")
+	check := flag.String("check", "", "check mode: baseline file to gate against (re-runs memsim microbenchmarks)")
+	factor := flag.Float64("factor", 2.0, "check mode: fail when fresh ns/op > factor x baseline")
+	benchtime := flag.String("benchtime", "", "passed to `go test -benchtime` (empty = go default)")
+	corpus := flag.Bool("corpus", true, "record mode: also run the slow corpus-generation benchmark")
+	flag.Parse()
+
+	switch {
+	case *check != "":
+		if err := runCheck(*check, *factor, *benchtime); err != nil {
+			fatal(err)
+		}
+	case *label != "":
+		if err := runRecord(*label, *out, *input, *benchtime, *corpus); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runRecord(label, out, input, benchtime string, corpus bool) error {
+	var outputs []string
+	if input != "" {
+		for _, f := range strings.Split(input, ",") {
+			b, err := os.ReadFile(strings.TrimSpace(f))
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, string(b))
+		}
+	} else {
+		micro, err := goBench("./internal/memsim", "BenchmarkTLBAccess|BenchmarkCacheAccess|BenchmarkStreamNext", benchtime)
+		if err != nil {
+			return err
+		}
+		outputs = append(outputs, micro)
+		if corpus {
+			c, err := goBench("./internal/dataset", "BenchmarkGenerateCorpus", benchtime)
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, c)
+		}
+	}
+
+	entry := Entry{
+		Label:             label,
+		Date:              time.Now().UTC().Format("2006-01-02"),
+		MicrobenchNsPerOp: map[string]float64{},
+	}
+	var machine string
+	var corpusVals []float64
+	for _, o := range outputs {
+		res := parseBench(o)
+		if machine == "" {
+			machine = res.machine
+		}
+		for name, ns := range res.nsPerOp {
+			entry.MicrobenchNsPerOp[name] = ns
+		}
+		corpusVals = append(corpusVals, res.pointsPerSec...)
+	}
+	if len(corpusVals) > 0 {
+		var sum float64
+		for _, v := range corpusVals {
+			sum += v
+		}
+		entry.CorpusPointsPerSec = round3(sum / float64(len(corpusVals)))
+	}
+	// points/sec entries also report a (meaningless at n=1) ns/op; drop the
+	// corpus benchmark from the gated microbench map.
+	for name := range entry.MicrobenchNsPerOp {
+		if strings.HasPrefix(name, "GenerateCorpus") {
+			delete(entry.MicrobenchNsPerOp, name)
+		}
+	}
+	if len(entry.MicrobenchNsPerOp) == 0 && entry.CorpusPointsPerSec == 0 {
+		return fmt.Errorf("no benchmark results parsed")
+	}
+
+	base := &Baseline{}
+	if b, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(b, base); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", out, err)
+		}
+	}
+	if base.Machine == "" {
+		base.Machine = machine
+	}
+	base.Entries = append(base.Entries, entry)
+	b, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended entry %q (%d microbenches, corpus %.3g points/sec) to %s\n",
+		label, len(entry.MicrobenchNsPerOp), entry.CorpusPointsPerSec, out)
+	return nil
+}
+
+func runCheck(path string, factor float64, benchtime string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(base.Entries) == 0 {
+		return fmt.Errorf("%s has no entries", path)
+	}
+	ref := base.Entries[len(base.Entries)-1] // newest entry is the current expectation
+	if len(ref.MicrobenchNsPerOp) == 0 {
+		return fmt.Errorf("newest entry %q has no microbenches to gate on", ref.Label)
+	}
+
+	out, err := goBench("./internal/memsim", "BenchmarkTLBAccess|BenchmarkCacheAccess|BenchmarkStreamNext", benchtime)
+	if err != nil {
+		return err
+	}
+	fresh := parseBench(out).nsPerOp
+
+	names := make([]string, 0, len(ref.MicrobenchNsPerOp))
+	for name := range ref.MicrobenchNsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failed bool
+	for _, name := range names {
+		want := ref.MicrobenchNsPerOp[name]
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: FAIL %-28s missing from fresh run\n", name)
+			failed = true
+			continue
+		}
+		ratio := got / want
+		status := "ok  "
+		if got > want*factor {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s %-28s baseline %8.2f ns/op, fresh %8.2f ns/op (%.2fx, limit %.1fx)\n",
+			status, name, want, got, ratio, factor)
+	}
+	if failed {
+		return fmt.Errorf("microbenchmark regression beyond %.1fx baseline (%s entry %q)", factor, path, ref.Label)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: all %d microbenches within %.1fx of baseline entry %q\n", len(names), factor, ref.Label)
+	return nil
+}
+
+func goBench(pkg, pattern, benchtime string) (string, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", pkg}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench %s: %w\n%s", pkg, err, out)
+	}
+	return string(out), nil
+}
+
+type benchResults struct {
+	machine      string
+	nsPerOp      map[string]float64
+	pointsPerSec []float64
+}
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts ns/op and points/sec from `go test -bench` output.
+// Benchmark names are reported without the "Benchmark" prefix or the
+// -GOMAXPROCS suffix, e.g. "TLBAccessHitHeavy", "StreamNext/random".
+func parseBench(out string) benchResults {
+	res := benchResults{nsPerOp: map[string]float64{}}
+	var cpu, goos, goarch string
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "cpu: "):
+			cpu = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "goos: "):
+			goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			goarch = strings.TrimPrefix(line, "goarch: ")
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), "")
+		// Sub-benchmarks repeated with identical names gain a #NN suffix;
+		// fold them onto the base name (points/sec values are averaged by
+		// the caller, ns/op keeps the last value seen).
+		if i := strings.Index(name, "#"); i >= 0 {
+			name = name[:i]
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.nsPerOp[name] = v
+			case "points/sec":
+				res.pointsPerSec = append(res.pointsPerSec, v)
+			}
+		}
+	}
+	if cpu != "" {
+		res.machine = fmt.Sprintf("%s (%s/%s)", cpu, goos, goarch)
+	}
+	return res
+}
+
+func round3(v float64) float64 {
+	f, _ := strconv.ParseFloat(strconv.FormatFloat(v, 'g', 4, 64), 64)
+	return f
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
