@@ -1,27 +1,49 @@
 // Command mapc-datagen generates the 91-run training corpus of Section V-B
 // and writes it as CSV (features + target) to stdout or a file.
 //
+// Generation is crash-safe when a checkpoint journal is enabled: every
+// completed measurement point is durably appended to the journal before
+// the run proceeds, SIGINT/SIGTERM stop the worker pool cleanly (in-flight
+// measurements finish and commit, then the journal is flushed), and a
+// later -resume run re-measures only the missing bags. The resumed corpus
+// is bit-for-bit identical to an uninterrupted run at any worker count.
+//
 // Usage:
 //
-//	mapc-datagen                 # CSV to stdout
-//	mapc-datagen -o corpus.csv   # CSV to a file
+//	mapc-datagen                                  # CSV to stdout
+//	mapc-datagen -o corpus.csv                    # CSV to a file
+//	mapc-datagen -o corpus.csv -checkpoint corpus.journal   # crash-safe
+//	mapc-datagen -o corpus.csv -checkpoint corpus.journal -resume  # continue
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"syscall"
 
 	"mapc/internal/dataset"
 	"mapc/internal/profiling"
 )
 
+// exitInterrupted is the exit code for a clean signal-triggered stop with
+// a flushed journal (128+SIGINT, the conventional shell encoding).
+const exitInterrupted = 130
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); output is identical for every value")
+	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe generation: completed points are committed here and survive kills")
+	resume := flag.Bool("resume", false, "continue from an existing -checkpoint journal, re-measuring only missing bags")
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (empty = full Table-II suite)")
+	batches := flag.String("batches", "", "comma-separated batch sizes (empty = 20,40,80,160,320)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of corpus generation to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
@@ -38,13 +60,36 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	if *benchmarks != "" {
+		cfg.Benchmarks = splitList(*benchmarks)
+	}
+	if *batches != "" {
+		bs, err := parseInts(*batches)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -batches: %w", err))
+		}
+		cfg.BatchSizes = bs
+		if len(bs) <= 2 {
+			cfg.MixedPairs = 0 // mixed-batch pairs need >= 3 sizes
+		}
+	}
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	corpus, err := gen.Generate()
-	if err != nil {
-		fatal(err)
+
+	if *resume && *checkpoint == "" {
+		fatal(errors.New("-resume requires -checkpoint"))
+	}
+
+	var corpus *dataset.Corpus
+	if *checkpoint == "" {
+		corpus, err = gen.Generate()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		corpus = generateCheckpointed(gen, cfg, *checkpoint, *resume)
 	}
 
 	var w io.Writer = os.Stdout
@@ -65,6 +110,61 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mapc-datagen: wrote %d data points (%d features + target)\n",
 		len(corpus.Points), len(corpus.FeatureNames))
+}
+
+// generateCheckpointed runs journaled generation with clean SIGINT/SIGTERM
+// handling: on a signal the worker pool stops claiming bags, in-flight
+// measurements finish and commit, the journal is flushed through an atomic
+// rename, and the process exits with status 130 and resume instructions.
+// It only returns on full success.
+func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path string, resume bool) *dataset.Corpus {
+	var (
+		j   *dataset.Journal
+		err error
+	)
+	if resume {
+		j, err = dataset.OpenJournal(path, cfg)
+	} else {
+		j, err = dataset.CreateJournal(path, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	bags, err := gen.Bags()
+	if err != nil {
+		fatal(err)
+	}
+	if resume {
+		msg := fmt.Sprintf("mapc-datagen: resuming: %d/%d points journaled in %s", j.Len(), len(bags), path)
+		if d := j.Dropped(); d > 0 {
+			msg += fmt.Sprintf(" (%d torn record(s) discarded)", d)
+		}
+		fmt.Fprintln(os.Stderr, msg)
+	} else {
+		fmt.Fprintf(os.Stderr, "mapc-datagen: checkpointing %d points to %s\n", len(bags), path)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	corpus, err := gen.Resume(ctx, j)
+	if err != nil {
+		if cerr := j.Close(); cerr != nil { // flush: atomic commit + close
+			fmt.Fprintln(os.Stderr, "mapc-datagen: closing journal:", cerr)
+		}
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr,
+				"mapc-datagen: interrupted; journal %s holds %d/%d points — rerun with -checkpoint %s -resume to continue\n",
+				path, j.Len(), len(bags), path)
+			os.Exit(exitInterrupted)
+		}
+		fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mapc-datagen: journal complete (%d points); safe to delete %s\n", j.Len(), path)
+	return corpus
 }
 
 func writeCSV(w io.Writer, corpus *dataset.Corpus) error {
@@ -92,6 +192,27 @@ func writeCSV(w io.Writer, corpus *dataset.Corpus) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"mapc/internal/features"
+	"mapc/internal/fsatomic"
 	"mapc/internal/ml"
 )
 
@@ -63,18 +64,13 @@ func (p *Predictor) Save(w io.Writer) error {
 	return enc.Encode(out)
 }
 
-// SaveFile writes the predictor to the named file.
-func (p *Predictor) SaveFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	return p.Save(f)
+// SaveFile writes the predictor to the named file atomically: the JSON is
+// written to a temp file in the same directory, fsynced, and renamed over
+// path. A crash mid-save therefore never leaves a truncated model for
+// core.Load's scheme/width checks to reject confusingly — the file is
+// either the previous complete model or the new one.
+func (p *Predictor) SaveFile(path string) error {
+	return fsatomic.WriteFile(path, p.Save)
 }
 
 // Load reads a predictor previously written with Save.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -155,6 +156,72 @@ func TestPersistSchemeRoundTripMismatch(t *testing.T) {
 	}
 	if _, err := Load(strings.NewReader(bad)); err == nil {
 		t.Error("load accepted num_features disagreeing with feature names")
+	}
+}
+
+// TestSaveFileAtomicAgainstPartialWrite is the crash-safety regression for
+// model persistence: a save that dies partway (simulated by truncating the
+// serialized model mid-JSON, the state a non-atomic writer would leave)
+// must never be what LoadFile sees. With the atomic temp+fsync+rename
+// SaveFile, a prior good model survives a failed save bit-for-bit; and if
+// a partial file does appear by other means, Load refuses it loudly.
+func TestSaveFileAtomicAgainstPartialWrite(t *testing.T) {
+	c := testCorpus(t)
+	p, err := Train(c, SchemeFull, DefaultTreeParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A simulated partial write of a *new* model onto the same path: write
+	// only half the bytes, as a crash mid-os.Create-then-Write would have.
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	partial := buf.Bytes()[:buf.Len()/2]
+	if err := os.WriteFile(path, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted a truncated model")
+	}
+
+	// The atomic SaveFile repairs it in one commit, and the repaired file
+	// is byte-identical to the original save (deterministic encoder).
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(good, repaired) {
+		t.Error("atomic re-save is not byte-identical to the first save")
+	}
+	if _, err := LoadFile(path); err != nil {
+		t.Fatalf("repaired model does not load: %v", err)
+	}
+
+	// No temp litter: SaveFile's temp files never outlive the commit.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "model.json" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory holds %v, want only model.json", names)
 	}
 }
 

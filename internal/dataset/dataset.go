@@ -6,6 +6,8 @@
 package dataset
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +15,7 @@ import (
 	"sync"
 
 	"mapc/internal/cpusim"
+	"mapc/internal/faultinject"
 	"mapc/internal/features"
 	"mapc/internal/gpusim"
 	"mapc/internal/mica"
@@ -153,6 +156,10 @@ type measureEntry struct {
 type Generator struct {
 	cfg Config
 
+	// fault is the chaos-testing hook (nil in production): fired once per
+	// bag at FaultSitePoint before the bag is measured.
+	fault faultinject.Injector
+
 	mu    sync.Mutex // guards cache map structure only
 	cache map[Member]*measureEntry
 }
@@ -193,6 +200,11 @@ func NewGenerator(cfg Config) (*Generator, error) {
 
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
+
+// SetFaultInjector installs a chaos-testing hook fired once per bag index
+// at FaultSitePoint before the bag is measured. Production code never
+// calls this; the nil default costs one pointer check per bag.
+func (g *Generator) SetFaultInjector(h faultinject.Injector) { g.fault = h }
 
 // measure returns the memoized isolated measurement for member m, computing
 // it exactly once (singleflight) no matter how many goroutines ask.
@@ -456,17 +468,63 @@ func mixedBags(names []string, batchSizes []int, count int) ([][2]Member, error)
 // measure bags concurrently, and each result is written to its bag's index,
 // so the corpus is bit-for-bit identical to a Workers=1 serial run.
 func (g *Generator) Generate() (*Corpus, error) {
+	return g.generate(context.Background(), nil)
+}
+
+// Resume builds the corpus crash-safely against journal j: bags already
+// journaled are restored without re-measurement, every freshly measured
+// point is durably appended before the run moves on, and cancelling ctx
+// (SIGINT/SIGTERM in mapc-datagen) stops the pool claiming new bags while
+// in-flight measurements finish and commit. Because each point is a pure
+// function of (Config, bag), an interrupted-and-resumed corpus is
+// bit-for-bit identical — same SHA-256 — to an uninterrupted run at any
+// worker count. The caller owns j (Commit/Close).
+func (g *Generator) Resume(ctx context.Context, j *Journal) (*Corpus, error) {
+	if j == nil {
+		return nil, errors.New("dataset: Resume requires a journal (use Generate for unjournaled runs)")
+	}
+	return g.generate(ctx, j)
+}
+
+// generate is the shared engine behind Generate and Resume.
+func (g *Generator) generate(ctx context.Context, j *Journal) (*Corpus, error) {
 	bags, err := g.Bags()
 	if err != nil {
 		return nil, err
 	}
 	points := make([]Point, len(bags))
+	have := make([]bool, len(bags))
+	if j != nil {
+		for i, bag := range bags {
+			if p, ok := j.Lookup(BagKey(bag[0], bag[1])); ok {
+				points[i] = p
+				have[i] = true
+			}
+		}
+	}
 	err = parallel.ForEach(g.cfg.Workers, len(bags), func(i int) error {
+		if have[i] {
+			return nil // restored from the journal
+		}
+		if err := ctx.Err(); err != nil {
+			return err // interrupted: stop claiming new bags
+		}
+		if err := faultinject.Fire(g.fault, FaultSitePoint, i); err != nil {
+			return err
+		}
 		p, err := g.MeasurePoint(bags[i][0], bags[i][1])
 		if err != nil {
 			return err
 		}
 		points[i] = p
+		if j != nil {
+			// Durable before visible: the point is fsynced into the
+			// journal before the run proceeds, so a crash after this line
+			// never re-measures bag i.
+			if err := j.Append(BagKey(bags[i][0], bags[i][1]), p); err != nil {
+				return err
+			}
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,239 @@
+// Package faultinject is the deterministic chaos-testing harness for the
+// measurement pipeline: a seed-driven fault plan (panic-at-index,
+// error-at-index, delay, torn journal write) threaded behind one narrow
+// interface so production builds pay zero cost.
+//
+// Call sites name themselves with a stable site string (e.g.
+// "dataset.point", "dataset.journal.append") and fire the hook through
+// Fire, which is nil-safe: production code never constructs an Injector,
+// the hook field stays nil, and the only cost is a nil check. Chaos tests
+// build a Plan — by hand or from RandomKillPlan's seeded RNG — wrap it in
+// New, and install it with the pipeline's Set*FaultInjector setters.
+//
+// Faults are matched by (site, index) and are deterministic: the same plan
+// against the same pipeline fires the same faults, so every chaos failure
+// reproduces from its seed.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Injector is the narrow hook the pipeline threads through. At is called
+// with the site's name and a call index (bag index for measurement sites,
+// append ordinal for journal sites); it may return an injected error (or a
+// *TornWrite for writer sites), panic with a *Panic, or sleep, per the
+// plan. Implementations must be safe for concurrent use: the measurement
+// pool fires hooks from many goroutines.
+type Injector interface {
+	At(site string, index int) error
+}
+
+// Fire fires hook h at (site, index). It is the nil-safe entry point call
+// sites use: a nil injector — the production configuration — is a no-op.
+func Fire(h Injector, site string, index int) error {
+	if h == nil {
+		return nil
+	}
+	return h.At(site, index)
+}
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// KindError makes At return an *Error: the task fails like any
+	// simulator error would.
+	KindError Kind = iota
+	// KindPanic makes At panic with a *Panic: the task dies mid-flight,
+	// simulating a crash inside fn(i).
+	KindPanic
+	// KindDelay makes At sleep for Fault.Delay before continuing to match
+	// further faults: widens race windows in chaos tests.
+	KindDelay
+	// KindTornWrite makes At return a *TornWrite carrying KeepBytes:
+	// writer sites (the dataset journal) truncate the record mid-write and
+	// abort, simulating a crash between write and fsync.
+	KindTornWrite
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindPanic:
+		return "panic"
+	case KindDelay:
+		return "delay"
+	case KindTornWrite:
+		return "torn-write"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AnyIndex as a Fault.Index matches every call index at the fault's site.
+const AnyIndex = -1
+
+// Fault is one planned fault: fire Kind at (Site, Index).
+type Fault struct {
+	// Site names the call site, e.g. "dataset.point".
+	Site string
+	// Index is the call index to fire at; AnyIndex matches all.
+	Index int
+	// Kind selects the fault class.
+	Kind Kind
+	// Delay is the sleep for KindDelay.
+	Delay time.Duration
+	// KeepBytes is, for KindTornWrite, how many bytes of the record the
+	// writer keeps before "crashing" (0 tears the record off entirely).
+	KeepBytes int
+	// Once limits the fault to its first match; false fires on every
+	// matching call (useful with AnyIndex delays).
+	Once bool
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s@%s[%d]", f.Kind, f.Site, f.Index)
+}
+
+// Plan is a deterministic fault schedule.
+type Plan struct {
+	Faults []Fault
+}
+
+// Error is an injected task failure.
+type Error struct {
+	Site  string
+	Index int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faultinject: injected error at %s[%d]", e.Site, e.Index)
+}
+
+// Panic is the value a KindPanic fault panics with; recovery layers (e.g.
+// parallel.PanicError.Value) surface it so tests can assert the panic was
+// the injected one.
+type Panic struct {
+	Site  string
+	Index int
+}
+
+func (p *Panic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s[%d]", p.Site, p.Index)
+}
+
+// TornWrite instructs a writer site to keep only KeepBytes of the record
+// it was about to commit and then fail, simulating a torn write (process
+// death between write(2) and fsync). It is an error so non-writer sites
+// that receive one fail loudly instead of ignoring it.
+type TornWrite struct {
+	Site      string
+	Index     int
+	KeepBytes int
+}
+
+func (t *TornWrite) Error() string {
+	return fmt.Sprintf("faultinject: injected torn write at %s[%d] (keeping %d bytes)", t.Site, t.Index, t.KeepBytes)
+}
+
+// injector is the standard Injector: a Plan plus fired-once bookkeeping.
+type injector struct {
+	mu     sync.Mutex
+	faults []Fault
+	fired  []bool
+}
+
+// New returns an Injector executing plan. The plan is copied; mutating it
+// afterwards does not affect the injector.
+func New(plan Plan) Injector {
+	return &injector{
+		faults: append([]Fault(nil), plan.Faults...),
+		fired:  make([]bool, len(plan.Faults)),
+	}
+}
+
+// At implements Injector: scan the plan in order, apply every matching
+// delay, and return/panic on the first matching terminal fault.
+func (in *injector) At(site string, index int) error {
+	// Collect matches under the lock, act outside it: KindDelay sleeps and
+	// KindPanic unwinds, neither of which may hold the mutex.
+	var terminal *Fault
+	var delays []time.Duration
+	in.mu.Lock()
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Site != site || (f.Index != AnyIndex && f.Index != index) {
+			continue
+		}
+		if f.Once && in.fired[i] {
+			continue
+		}
+		if f.Kind == KindDelay {
+			in.fired[i] = true
+			delays = append(delays, f.Delay)
+			continue
+		}
+		in.fired[i] = true
+		terminal = f
+		break
+	}
+	in.mu.Unlock()
+
+	for _, d := range delays {
+		time.Sleep(d)
+	}
+	if terminal == nil {
+		return nil
+	}
+	switch terminal.Kind {
+	case KindError:
+		return &Error{Site: site, Index: index}
+	case KindPanic:
+		panic(&Panic{Site: site, Index: index})
+	case KindTornWrite:
+		return &TornWrite{Site: site, Index: index, KeepBytes: terminal.KeepBytes}
+	}
+	return nil
+}
+
+// RandomKillPlan derives a one-shot KindPanic fault at a uniformly random
+// index in [0, n) at the given site, from seed. The same (seed, site, n)
+// always yields the same plan, so a chaos failure's seed reproduces it
+// exactly.
+func RandomKillPlan(seed uint64, site string, n int) Plan {
+	if n <= 0 {
+		return Plan{}
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	return Plan{Faults: []Fault{{
+		Site:  site,
+		Index: rng.Intn(n),
+		Kind:  KindPanic,
+		Once:  true,
+	}}}
+}
+
+// RandomTearPlan derives a one-shot KindTornWrite fault at a uniformly
+// random index in [0, n) at the given (writer) site, keeping a random
+// prefix of up to maxKeep bytes. Deterministic in (seed, site, n, maxKeep).
+func RandomTearPlan(seed uint64, site string, n, maxKeep int) Plan {
+	if n <= 0 {
+		return Plan{}
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	keep := 0
+	if maxKeep > 0 {
+		keep = rng.Intn(maxKeep + 1)
+	}
+	return Plan{Faults: []Fault{{
+		Site:      site,
+		Index:     rng.Intn(n),
+		Kind:      KindTornWrite,
+		KeepBytes: keep,
+		Once:      true,
+	}}}
+}

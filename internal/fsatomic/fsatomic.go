@@ -1,0 +1,63 @@
+// Package fsatomic provides crash-safe file replacement: write the new
+// contents to a temporary file in the destination's directory, fsync it,
+// and rename it over the destination. A crash at any point leaves either
+// the old complete file or the new complete file — never a truncated mix —
+// which is the invariant both the model store (core.Predictor.SaveFile)
+// and the measurement journal (dataset.Journal) build on.
+package fsatomic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+//
+// The temporary file is created in path's own directory (rename(2) is only
+// atomic within a filesystem), synced to disk before the rename, and
+// removed on any failure, so an aborted save neither corrupts the
+// destination nor litters partial files. After a successful rename the
+// directory is synced too, making the new name durable.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fsatomic: creating temp file in %s: %w", dir, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName) // best effort; the temp never shadows path
+		}
+	}()
+
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("fsatomic: writing %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fsatomic: syncing %s: %w", tmpName, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fsatomic: closing %s: %w", tmpName, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("fsatomic: committing %s: %w", path, err)
+	}
+	syncDir(dir) // durability of the rename itself; best effort
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Errors are ignored: some filesystems (and all of Windows) refuse
+// directory fsync, and the rename has already happened atomically.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}

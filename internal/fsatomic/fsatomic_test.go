@@ -1,0 +1,91 @@
+package fsatomic
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content %q", b)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content after replace %q", b)
+	}
+}
+
+// TestWriteFilePartialWriteLeavesOriginal is the crash-safety contract: a
+// write callback that produces half its output and then fails (the
+// in-process analogue of dying mid-save) must leave the previous complete
+// file untouched and no temp litter behind.
+func TestWriteFilePartialWriteLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := os.WriteFile(path, []byte("intact-old-model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full halfway")
+	err := WriteFile(path, func(w io.Writer) error {
+		if _, err := io.WriteString(w, `{"format":"mapc-predictor-v1","truncat`); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped callback failure", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "intact-old-model" {
+		t.Fatalf("destination corrupted by failed write: %q", b)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp litter left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory holds %d entries, want just the original", len(entries))
+	}
+}
+
+func TestWriteFileNoPartialOnFreshPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.json")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, _ = io.WriteString(w, "part")
+		return errors.New("fail before commit")
+	})
+	if err == nil {
+		t.Fatal("callback failure swallowed")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("failed write materialized the destination: %v", statErr)
+	}
+}
+
+func TestWriteFileBadDirectory(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x"), func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("missing directory accepted")
+	}
+}

@@ -11,10 +11,54 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered inside a ForEach task, converted into an
+// ordinary error so one crashing measurement cannot tear down the whole
+// process (the corpus generator, an HTTP server, ...). It records which
+// index panicked, the recovered value, and the goroutine stack captured at
+// the recovery point, so the failure is as debuggable as the raw panic
+// would have been.
+type PanicError struct {
+	// Index is the ForEach index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured inside the
+	// deferred recover (it includes the frames that led to the panic).
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Unwrap exposes the panic value when it is itself an error (e.g. a
+// faultinject.*Panic or a runtime error), so errors.Is/As see through the
+// recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// call invokes fn(i), converting a panic into a *PanicError. This is the
+// single recovery point for both the serial and pooled paths, so the two
+// return identical errors for the same panic.
+func call(fn func(i int) error, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // Resolve maps a configured worker count to an effective one: values <= 0
 // select runtime.NumCPU() (the default), anything else is returned as-is.
@@ -37,6 +81,12 @@ func Resolve(workers int) int {
 //     would have produced for deterministic fn.
 //   - After the first failure no new indices are claimed (in-flight calls
 //     finish), so a failing run does not pay for the whole sweep.
+//   - A panic inside fn(i) is contained: it is recovered into a
+//     *PanicError carrying the index, value and stack, and participates in
+//     the lowest-index-error rule exactly like a returned error. The pool
+//     never lets one crashing task kill the process. Non-panicking runs are
+//     bit-identical to the pre-recovery implementation (the recovery is a
+//     deferred no-op on the success path).
 //
 // fn must be safe for concurrent invocation when workers > 1; writes to
 // shared results must be disjoint per index.
@@ -50,9 +100,10 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		// Legacy serial path: identical to the pre-engine loops,
-		// including stopping at the first error.
+		// including stopping at the first error (a recovered panic counts
+		// as that index's error).
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(fn, i); err != nil {
 				return err
 			}
 		}
@@ -78,7 +129,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := call(fn, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}

@@ -1,10 +1,34 @@
 package serve
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"mapc/internal/dataset"
 )
+
+// recoveredPanic is a panic caught inside the feature cache's compute
+// path, converted to an error so a crashing measurement answers one 500
+// instead of killing the server — and so the entry can be evicted rather
+// than poisoned (see featureCache.get).
+type recoveredPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *recoveredPanic) Error() string {
+	return fmt.Sprintf("serve: feature computation panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap exposes error panic values to errors.Is/As (mirrors
+// parallel.PanicError).
+func (p *recoveredPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // featureCache memoizes raw feature vectors per bag across requests. It
 // reuses the measurement engine's singleflight idiom (dataset.Generator's
@@ -52,6 +76,13 @@ func (c *featureCache) key(a, b dataset.Member) [2]dataset.Member {
 // skipped re-simulation, modulo waiting for an in-progress first computation).
 // The returned slice is shared across requests — callers must not mutate it
 // (core.Predictor.PredictRaw copies before scaling).
+//
+// A compute that panics must not poison the singleflight slot: without
+// recovery, sync.Once would mark the entry done with zero values and every
+// future request for the bag would get nil features forever. Instead the
+// panic is recovered into a *recoveredPanic error, the entry is evicted,
+// and the next request for the same bag computes fresh — the panicking bag
+// costs exactly one 500.
 func (c *featureCache) get(a, b dataset.Member) (x []float64, fairness float64, hit bool, err error) {
 	k := c.key(a, b)
 	c.mu.Lock()
@@ -61,7 +92,25 @@ func (c *featureCache) get(a, b dataset.Member) (x []float64, fairness float64, 
 		c.entries[k] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.x, e.fairness, e.err = c.compute(k[0], k[1]) })
+	e.once.Do(func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.err = &recoveredPanic{Value: r, Stack: debug.Stack()}
+			}
+		}()
+		e.x, e.fairness, e.err = c.compute(k[0], k[1])
+	})
+	if _, panicked := e.err.(*recoveredPanic); panicked {
+		// Evict so a retry recomputes; every waiter that shared this
+		// once.Do (and only those) observes the panic error. Guard the
+		// delete against a racing retry that already installed a fresh
+		// entry.
+		c.mu.Lock()
+		if c.entries[k] == e {
+			delete(c.entries, k)
+		}
+		c.mu.Unlock()
+	}
 	return e.x, e.fairness, ok, e.err
 }
 

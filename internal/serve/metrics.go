@@ -30,6 +30,10 @@ type Metrics struct {
 	}
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+
+	// panics counts recovered request panics (middleware + measurement
+	// pool): each one answered 500 while the process kept serving.
+	panics atomic.Int64
 }
 
 // NewMetrics returns a zeroed metrics set with the clock started.
@@ -122,6 +126,13 @@ func (m *Metrics) RejectSaturated()  { m.rejected.saturated.Add(1) }
 func (m *Metrics) RejectTimeout()    { m.rejected.timeout.Add(1) }
 func (m *Metrics) RejectValidation() { m.rejected.validation.Add(1) }
 
+// Panic records one recovered request panic (the request got a 500; the
+// process survived).
+func (m *Metrics) Panic() { m.panics.Add(1) }
+
+// PanicsTotal returns the recovered-panic count.
+func (m *Metrics) PanicsTotal() int64 { return m.panics.Load() }
+
 // IncInFlight / DecInFlight move the in-flight gauge.
 func (m *Metrics) IncInFlight() { m.inFlight.Add(1) }
 func (m *Metrics) DecInFlight() { m.inFlight.Add(-1) }
@@ -184,6 +195,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{`mapc_rejected_total{reason="saturated"}`, m.rejected.saturated.Load()},
 		{`mapc_rejected_total{reason="timeout"}`, m.rejected.timeout.Load()},
 		{`mapc_rejected_total{reason="validation"}`, m.rejected.validation.Load()},
+		{"mapc_serve_panics_total", m.panics.Load()},
 		{"mapc_feature_cache_hits_total", hits},
 		{"mapc_feature_cache_misses_total", misses},
 		{"mapc_feature_cache_hit_ratio", m.CacheHitRate()},

@@ -25,8 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -141,13 +143,64 @@ func (s *Server) cachedFeatures(a, b dataset.Member) ([]float64, float64, bool, 
 // Metrics exposes the server's metrics (for tests and embedding callers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// Handler returns the service's HTTP handler.
+// Handler returns the service's HTTP handler. Every route is wrapped in
+// the panic-recovery middleware: a panicking request answers 500 and bumps
+// mapc_serve_panics_total while the process keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// statusTrackingWriter remembers whether a status line has been written,
+// so the recovery middleware only attempts a 500 when the response is
+// still unsent.
+type statusTrackingWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusTrackingWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusTrackingWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// recoverPanics is the per-request panic containment layer: one crashing
+// handler (or anything it calls outside the worker pool's own recovery)
+// must cost one 500, never the process. The stack is logged server-side
+// and kept out of the response body.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &statusTrackingWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.Panic()
+				log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if !tw.wrote {
+					s.metrics.ObserveOther(writeJSON(tw, http.StatusInternalServerError,
+						errorResponse{"internal error: request handler panicked (see server logs)"}))
+				}
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
+}
+
+// panicRelated reports whether err stems from a recovered panic — either
+// the measurement pool's parallel.PanicError or the feature cache's
+// recoveredPanic — and therefore should count in mapc_serve_panics_total
+// and answer with a generic 500 (stacks stay in the server log).
+func panicRelated(err error) bool {
+	var pe *parallel.PanicError
+	var rp *recoveredPanic
+	return errors.As(err, &pe) || errors.As(err, &rp)
 }
 
 // ListenAndServe serves on addr until Shutdown or a listener error. It
@@ -348,6 +401,15 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 				s.metrics.RejectTimeout()
 				return writeJSON(w, http.StatusGatewayTimeout,
 					errorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+			}
+			if panicRelated(err) {
+				// A measurement task died mid-flight; the worker pool (or
+				// the feature cache) contained it. Log the stack, keep it
+				// out of the response, and keep serving.
+				s.metrics.Panic()
+				log.Printf("serve: recovered panic in /v1/predict: %v", err)
+				return writeJSON(w, http.StatusInternalServerError,
+					errorResponse{"internal error: prediction task panicked (see server logs)"})
 			}
 			return writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		}
