@@ -40,6 +40,7 @@ const exitInterrupted = 130
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); output is identical for every value")
+	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe generation: completed points are committed here and survive kills")
 	resume := flag.Bool("resume", false, "continue from an existing -checkpoint journal, re-measuring only missing bags")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (empty = full Table-II suite)")
@@ -60,6 +61,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.SimCacheMB = *simCacheMB
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}
@@ -110,6 +112,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mapc-datagen: wrote %d data points (%d features + target)\n",
 		len(corpus.Points), len(corpus.FeatureNames))
+	if st := gen.SimCacheStats(); st.Hits+st.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "mapc-datagen: simcache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %.1f MiB resident)\n",
+			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, float64(st.Bytes)/(1<<20))
+	}
 }
 
 // generateCheckpointed runs journaled generation with clean SIGINT/SIGTERM

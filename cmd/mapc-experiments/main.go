@@ -22,6 +22,7 @@ func main() {
 	only := flag.String("only", "", "regenerate a single artifact (e.g. figure5)")
 	list := flag.Bool("list", false, "list artifact IDs and exit")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); figures are identical for every value")
+	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of artifact regeneration to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
@@ -48,6 +49,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.SimCacheMB = *simCacheMB
 	env := experiments.NewEnv(cfg)
 	if *only != "" {
 		t, err := experiments.Run(env, *only)

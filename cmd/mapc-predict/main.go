@@ -31,6 +31,7 @@ func main() {
 	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
+	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	flag.Parse()
 
 	scheme, ok := core.SchemeByName(*schemeName)
@@ -40,6 +41,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.SimCacheMB = *simCacheMB
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)

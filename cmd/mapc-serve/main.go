@@ -40,6 +40,7 @@ func main() {
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training at startup")
 	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial)")
+	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/predict requests admitted before shedding with 503")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "maximum bags per request")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
@@ -67,6 +68,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.SimCacheMB = *simCacheMB
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}

@@ -27,6 +27,7 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "tree depth bound (0 = unbounded)")
 	outModel := flag.String("o", "", "save the full-corpus model to this JSON file")
 	workers := flag.Int("workers", 0, "measurement/fold worker goroutines (0 = NumCPU, 1 = serial); results are identical for every value")
+	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	flag.Parse()
 
 	scheme, ok := core.SchemeByName(*schemeName)
@@ -44,6 +45,7 @@ func main() {
 
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
+	cfg.SimCacheMB = *simCacheMB
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)

@@ -15,10 +15,12 @@ package cpusim
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mapc/internal/isa"
 	"mapc/internal/memsim"
+	"mapc/internal/simcache"
 	"mapc/internal/trace"
 )
 
@@ -119,6 +121,11 @@ func (c *Config) Validate() error {
 
 // App is one application instance scheduled onto the machine.
 type App struct {
+	// Workload is the instrumented trace to execute. Read-only contract:
+	// Run (and RunMemo) never mutate the workload, so callers may pass one
+	// shared *trace.Workload to any number of concurrent runs without
+	// cloning. TestRunTreatsWorkloadsAsReadOnly enforces this with a deep
+	// content hash before and after every run.
 	Workload *trace.Workload
 	// Threads is the OpenMP-style thread count; the paper uses each
 	// benchmark's best configuration.
@@ -163,11 +170,35 @@ type phaseMem struct {
 // and bandwidth to the survivors. Reported times are completion times and
 // IPC is lifetime IPC — what Linux perf attached to each process measures.
 // A single-element slice simulates an isolated run.
+//
+// Run treats every workload as strictly read-only (see App.Workload), so
+// callers may share cached workloads across concurrent runs.
 func Run(cfg Config, apps []App) ([]Result, error) {
+	return RunMemo(cfg, nil, apps)
+}
+
+// RunMemo is Run with a cross-run memo for pure simulation prefixes. Two
+// pieces of simulateMemory are pure functions of (cfg, workload, slot) and
+// are cached in memo when it is non-nil:
+//
+//   - the per-app private phase — stream generation, the L1/L2 replay with
+//     the stride prefetcher, the per-phase l1/l2 miss ratios and the
+//     LLC-bound miss list — which never observes the co-runner (seeds and
+//     address bases are slot-derived, and the private caches are reset per
+//     app);
+//   - for single-app runs, the entire memory simulation including the LLC
+//     replay (one client, so nothing is shared).
+//
+// Shared structures (the LLC with more than one client, DRAM bandwidth
+// apportioning, the phased completion schedule) are always recomputed per
+// call. Outputs are bit-identical to Run for every memo budget, including
+// under eviction pressure: cached entries are immutable and hold exactly
+// the bytes the cold path would recompute. A nil memo is the cold path.
+func RunMemo(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
 	if err := validateApps(cfg, apps); err != nil {
 		return nil, err
 	}
-	steady, err := runSteady(cfg, apps)
+	steady, err := runSteady(cfg, memo, apps)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +244,7 @@ func Run(cfg Config, apps []App) ([]Result, error) {
 		for k, ai := range active {
 			sub[k] = apps[ai]
 		}
-		cur, err = runSteady(cfg, sub)
+		cur, err = runSteady(cfg, memo, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -253,8 +284,10 @@ func validateApps(cfg Config, apps []App) error {
 }
 
 // runSteady computes per-app times assuming all apps stay co-resident.
-func runSteady(cfg Config, apps []App) ([]Result, error) {
-	mem, llcStats, err := simulateMemory(cfg, apps)
+// mem is treated as read-only here: for memoized single-app runs it aliases
+// an immutable cache entry.
+func runSteady(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
+	mem, llcStats, err := simulateMemory(cfg, memo, apps)
 	if err != nil {
 		return nil, err
 	}
@@ -412,7 +445,7 @@ func PhaseBreakdown(cfg Config, apps []App, app int) ([]PhaseTiming, error) {
 	if app < 0 || app >= len(apps) {
 		return nil, fmt.Errorf("cpusim: app %d out of range", app)
 	}
-	mem, _, err := simulateMemory(cfg, apps)
+	mem, _, err := simulateMemory(cfg, nil, apps)
 	if err != nil {
 		return nil, err
 	}
@@ -432,69 +465,191 @@ func PhaseBreakdown(cfg Config, apps []App, app int) ([]PhaseTiming, error) {
 	return out, nil
 }
 
-// boundRef is one L2-miss reference headed for the shared LLC, tagged with
-// its producing phase.
-type boundRef struct {
-	phase int
-	addr  uint64
-}
-
 // simScratch holds the buffers simulateMemory reuses across calls: the
-// flat LLC-bound arena (worst case every sampled reference misses L2, so
-// the per-app capacity bound is exact and known up front) and the per-phase
-// address batch Stream.Fill writes into. Pooled because corpus generation
-// calls simulateMemory thousands of times, potentially from concurrent
-// measurement workers.
+// flat LLC-bound address arena (worst case every sampled reference misses
+// L2, so the per-app capacity bound is exact and known up front) and the
+// per-phase address batch Stream.Fill writes into. Pooled because corpus
+// generation calls simulateMemory thousands of times, potentially from
+// concurrent measurement workers.
 type simScratch struct {
-	bound []boundRef
-	addrs []uint64
+	bound []uint64 // cold-path LLC-bound arena, capacity >= total
+	addrs []uint64 // per-phase fill batch, capacity >= maxPhase
 }
 
-// grow sizes the scratch buffers, reusing prior capacity, and returns the
-// LLC-bound arena with capacity total.
-func (s *simScratch) grow(total, maxPhase int) []boundRef {
+// grow sizes the scratch buffers, reusing prior capacity.
+func (s *simScratch) grow(total, maxPhase int) {
 	if cap(s.bound) < total {
-		s.bound = make([]boundRef, total)
+		s.bound = make([]uint64, total)
 	}
 	if cap(s.addrs) < maxPhase {
 		s.addrs = make([]uint64, maxPhase)
 	}
+	s.bound = s.bound[:cap(s.bound)]
 	s.addrs = s.addrs[:cap(s.addrs)]
-	return s.bound[:cap(s.bound)]
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
+// Memo key domains (simcache.Key.Domain) for the two cached prefixes.
+const (
+	memoDomainPriv = "cpusim/priv" // per-app private phase (stream + L1/L2 replay)
+	memoDomainIso  = "cpusim/iso"  // entire single-app memory simulation
+)
+
+// configKey renders cfg exactly for memo keys: two configurations share a
+// cache entry only when every field of the simulated machine is identical.
+func configKey(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// phaseMemBytes is the resident size of one phaseMem (3 float64 + uint64).
+const phaseMemBytes = 32
+
+// privResult is the memoized pure prefix of one app's memory simulation:
+// everything that depends only on (cfg, workload, slot), not on the
+// co-runner. Cached entries are immutable — the shared-LLC replay reads
+// bound/ends and accumulates into a private copy of mem.
+type privResult struct {
+	mem   []phaseMem // l1Miss/l2Miss per phase; llcMiss fields zero
+	bound []uint64   // LLC-bound (L2-miss) addresses, phase-contiguous
+	ends  []int      // cumulative end offset of each phase within bound
+}
+
+// bytes reports the entry's approximate resident size for LRU accounting.
+func (pr privResult) bytes() int64 {
+	return int64(len(pr.mem))*phaseMemBytes + int64(cap(pr.bound))*8 + int64(len(pr.ends))*8 + 96
+}
+
+// isoResult is the memoized outcome of a whole single-app simulateMemory
+// call: with one client nothing is shared, so the finalized per-phase miss
+// behaviour and LLC statistics are pure in (cfg, workload). Immutable.
+type isoResult struct {
+	mem   [][]phaseMem
+	stats []memsim.CacheStats
+}
+
+func (ir isoResult) bytes() int64 {
+	var n int64 = 128
+	for _, m := range ir.mem {
+		n += int64(len(m)) * phaseMemBytes
+	}
+	n += int64(len(ir.stats)) * 32
+	return n
+}
+
+// privateReplay runs one app's private phase: per phase, generate the
+// sampled synthetic stream, replay it through the private L1/L2 pair (with
+// the stride prefetcher in front of L2), record the per-phase l1/l2 miss
+// ratios, and append every L2 miss — the LLC-bound stream — to bound.
+// bound must have capacity for the worst case (every sampled reference
+// missing); the appends never reallocate. addrs is the reusable fill
+// batch. The result is a pure function of (cfg, w, ai) plus the caches'
+// reset state: l1/l2 must be fresh or Reset (state-identical by the
+// frozen-reference tests in memsim).
+func privateReplay(cfg Config, w *trace.Workload, ai int, l1, l2 *memsim.Cache, addrs, bound []uint64) (privResult, error) {
+	mem := make([]phaseMem, len(w.Phases))
+	ends := make([]int, len(w.Phases))
+	base := uint64(ai+1) << 40 // disjoint address spaces per slot
+	// Seed strings are per-app constants; strconv.Itoa produces exactly
+	// the bytes fmt.Sprint emitted here before, without the interface
+	// boxing per phase.
+	batchStr := strconv.Itoa(w.BatchSize)
+	slotStr := strconv.Itoa(ai)
+	for pi := range w.Phases {
+		p := &w.Phases[pi]
+		refs := p.MemRefs()
+		if refs == 0 {
+			ends[pi] = len(bound)
+			continue
+		}
+		seed := memsim.StreamSeed("cpu", w.Benchmark, p.Name, batchStr, slotStr)
+		st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+		if err != nil {
+			return privResult{}, err
+		}
+		pf := memsim.NewStridePrefetcher(cfg.PrefetchDegree)
+		n := memsim.SampleRefs(refs)
+		if n == 0 {
+			// Explicit guard mirroring gpusim's pa.acc == 0 pattern:
+			// today unreachable (refs > 0 implies n >= 1), but the
+			// divides below must never see n == 0 even if SampleRefs
+			// grows a subsampling mode.
+			ends[pi] = len(bound)
+			continue
+		}
+		batch := addrs[:n]
+		st.Fill(batch)
+		var l1m, l2m int
+		for _, a := range batch {
+			if l1.Access(0, a) {
+				continue
+			}
+			l1m++
+			if l2.Access(0, a) {
+				continue
+			}
+			l2m++
+			bound = append(bound, a)
+			// Train the stride prefetcher on the L2 demand-miss
+			// stream; fills land in L2 ahead of the access.
+			for _, pa := range pf.OnMiss(a) {
+				l2.Install(0, pa)
+			}
+		}
+		mem[pi].l1Miss = float64(l1m) / float64(n)
+		mem[pi].l2Miss = float64(l2m) / float64(n)
+		ends[pi] = len(bound)
+	}
+	return privResult{mem: mem, bound: bound, ends: ends}, nil
+}
 
 // simulateMemory drives sampled synthetic streams for every phase of every
 // app through private L1/L2 hierarchies and one shared LLC, returning the
 // per-phase miss behaviour and per-app LLC statistics.
 //
-// The hot path is allocation-free: llcBound arenas are carved out of a
-// pooled scratch buffer at their exact worst-case capacity (SampleRefs is
-// a pure function of the workload), each phase's references arrive through
-// one batched Stream.Fill, and one private L1/L2 pair is Reset between
-// apps instead of reallocated (a fresh cache and a Reset cache are
-// state-identical).
-func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, error) {
+// With a non-nil memo, single-app calls are answered entirely from the
+// isolated-run memo (pure: one client shares nothing) and multi-app calls
+// reuse memoized private phases, replaying only the LLC-bound streams
+// through the genuinely shared LLC. Outputs are bit-identical to the cold
+// path at every budget.
+func simulateMemory(cfg Config, memo *simcache.Cache, apps []App) ([][]phaseMem, []memsim.CacheStats, error) {
+	if memo != nil && len(apps) == 1 {
+		key := simcache.Key{
+			Domain:   memoDomainIso,
+			Config:   configKey(cfg),
+			Workload: apps[0].Workload.Fingerprint(),
+			Slot:     0,
+		}
+		v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+			mem, stats, err := simulateMemoryShared(cfg, memo, apps)
+			if err != nil {
+				return nil, 0, err
+			}
+			ir := isoResult{mem: mem, stats: stats}
+			return ir, ir.bytes(), nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		ir := v.(isoResult)
+		return ir.mem, ir.stats, nil
+	}
+	return simulateMemoryShared(cfg, memo, apps)
+}
+
+// simulateMemoryShared is the full memory simulation: private phases (memo
+// hits or cold replays) followed by the shared-LLC interleave.
+func simulateMemoryShared(cfg Config, memo *simcache.Cache, apps []App) ([][]phaseMem, []memsim.CacheStats, error) {
 	llc, err := memsim.NewCache("llc", cfg.LLCytes, cfg.LLCWays, len(apps))
 	if err != nil {
 		return nil, nil, err
 	}
-	l1, err := memsim.NewCache("l1", cfg.L1Bytes, cfg.L1Ways, 1)
-	if err != nil {
-		return nil, nil, err
-	}
-	l2, err := memsim.NewCache("l2", cfg.L2Bytes, cfg.L2Ways, 1)
-	if err != nil {
-		return nil, nil, err
-	}
 
-	mem := make([][]phaseMem, len(apps))
+	// Exact per-app sample counts: SampleRefs is a pure function of the
+	// workload, so arena windows and memo-entry capacities are known up
+	// front.
 	counts := make([]int, len(apps))
 	total, maxPhase := 0, 0
 	for ai := range apps {
 		w := apps[ai].Workload
-		mem[ai] = make([]phaseMem, len(w.Phases))
 		for pi := range w.Phases {
 			if refs := w.Phases[pi].MemRefs(); refs > 0 {
 				k := memsim.SampleRefs(refs)
@@ -507,94 +662,129 @@ func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, 
 		total += counts[ai]
 	}
 
-	scratch := scratchPool.Get().(*simScratch)
-	defer scratchPool.Put(scratch)
-	arena := scratch.grow(total, maxPhase)
-
-	// llcBound collects, per app, the interleavable L2-miss address lists
-	// of all phases (tagged with phase index). Each app's list is a
-	// zero-length full-capacity window into the arena, so the appends
-	// below never reallocate and never cross into a neighbour's window.
-	llcBound := make([][]boundRef, len(apps))
-	off := 0
-	for ai := range apps {
-		llcBound[ai] = arena[off:off : off+counts[ai]]
-		off += counts[ai]
+	// Private L1/L2 pair and pooled scratch, created lazily: an all-hit
+	// memoized run touches neither. A fresh cache and a Reset cache are
+	// state-identical, so lazy creation cannot perturb outcomes.
+	var l1, l2 *memsim.Cache
+	var scratch *simScratch
+	defer func() {
+		if scratch != nil {
+			scratchPool.Put(scratch)
+		}
+	}()
+	getScratch := func() *simScratch {
+		if scratch == nil {
+			scratch = scratchPool.Get().(*simScratch)
+			scratch.grow(total, maxPhase)
+		}
+		return scratch
 	}
-
-	for ai := range apps {
-		w := apps[ai].Workload
-		if ai > 0 {
+	privCaches := func() (*memsim.Cache, *memsim.Cache, error) {
+		if l1 == nil {
+			var err error
+			if l1, err = memsim.NewCache("l1", cfg.L1Bytes, cfg.L1Ways, 1); err != nil {
+				return nil, nil, err
+			}
+			if l2, err = memsim.NewCache("l2", cfg.L2Bytes, cfg.L2Ways, 1); err != nil {
+				return nil, nil, err
+			}
+		} else {
 			l1.Reset()
 			l2.Reset()
 		}
-		base := uint64(ai+1) << 40 // disjoint address spaces
-		for pi := range w.Phases {
-			p := &w.Phases[pi]
-			refs := p.MemRefs()
-			if refs == 0 {
-				continue
-			}
-			seed := memsim.StreamSeed("cpu", w.Benchmark, p.Name, fmt.Sprint(w.BatchSize), fmt.Sprint(ai))
-			st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+		return l1, l2, nil
+	}
+
+	mem := make([][]phaseMem, len(apps))
+	bounds := make([][]uint64, len(apps))
+	ends := make([][]int, len(apps))
+	var cfgKey string
+	if memo != nil {
+		cfgKey = configKey(cfg)
+	}
+	off := 0
+	for ai := range apps {
+		w := apps[ai].Workload
+		if memo != nil {
+			key := simcache.Key{Domain: memoDomainPriv, Config: cfgKey, Workload: w.Fingerprint(), Slot: ai}
+			ai := ai // capture per-iteration for the compute closure
+			v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+				cl1, cl2, err := privCaches()
+				if err != nil {
+					return nil, 0, err
+				}
+				// Exact-capacity heap slice: the entry outlives this call,
+				// so it cannot live in the pooled arena.
+				pr, err := privateReplay(cfg, w, ai, cl1, cl2, getScratch().addrs, make([]uint64, 0, counts[ai]))
+				if err != nil {
+					return nil, 0, err
+				}
+				return pr, pr.bytes(), nil
+			})
 			if err != nil {
 				return nil, nil, err
 			}
-			pf := memsim.NewStridePrefetcher(cfg.PrefetchDegree)
-			n := memsim.SampleRefs(refs)
-			if n == 0 {
-				// Explicit guard mirroring gpusim's pa.acc == 0 pattern:
-				// today unreachable (refs > 0 implies n >= 1), but the
-				// divides below must never see n == 0 even if SampleRefs
-				// grows a subsampling mode.
-				continue
+			pr := v.(privResult)
+			// Private copy of the per-phase ratios: the shared replay
+			// accumulates llcMissN into it, and cached entries are
+			// immutable.
+			mem[ai] = append([]phaseMem(nil), pr.mem...)
+			bounds[ai], ends[ai] = pr.bound, pr.ends
+		} else {
+			cl1, cl2, err := privCaches()
+			if err != nil {
+				return nil, nil, err
 			}
-			addrs := scratch.addrs[:n]
-			st.Fill(addrs)
-			var l1m, l2m int
-			for _, a := range addrs {
-				if l1.Access(0, a) {
-					continue
-				}
-				l1m++
-				if l2.Access(0, a) {
-					continue
-				}
-				l2m++
-				llcBound[ai] = append(llcBound[ai], boundRef{phase: pi, addr: a})
-				// Train the stride prefetcher on the L2 demand-miss
-				// stream; fills land in L2 ahead of the access.
-				for _, pa := range pf.OnMiss(a) {
-					l2.Install(0, pa)
-				}
+			s := getScratch()
+			// Zero-length full-capacity window into the arena: the appends
+			// in privateReplay never reallocate and never cross into a
+			// neighbour's window.
+			pr, err := privateReplay(cfg, w, ai, cl1, cl2, s.addrs, s.bound[off:off:off+counts[ai]])
+			if err != nil {
+				return nil, nil, err
 			}
-			mem[ai][pi].l1Miss = float64(l1m) / float64(n)
-			mem[ai][pi].l2Miss = float64(l2m) / float64(n)
+			off += counts[ai]
+			mem[ai] = pr.mem
+			bounds[ai], ends[ai] = pr.bound, pr.ends
 		}
 	}
 
 	// Shared-LLC phase: interleave every app's LLC-bound stream round-robin
 	// in proportion to stream length, the steady-state mix a shared cache
-	// observes from concurrent clients.
+	// observes from concurrent clients. Phase attribution follows the
+	// cursor through the phase-contiguous bound list (ends[ai][p] is the
+	// first index past phase p), replacing the per-reference phase tag.
 	idx := make([]int, len(apps))
+	ph := make([]int, len(apps))
 	remaining := 0
 	maxLen := 0
-	for ai := range llcBound {
-		remaining += len(llcBound[ai])
-		if len(llcBound[ai]) > maxLen {
-			maxLen = len(llcBound[ai])
+	for ai := range bounds {
+		remaining += len(bounds[ai])
+		if len(bounds[ai]) > maxLen {
+			maxLen = len(bounds[ai])
 		}
 	}
+	// Proportional pacing: app ai issues len/maxLen refs per step — i.e.
+	// exactly quota(step) = floor(len*(step+1)/maxLen) - floor(len*step/maxLen)
+	// references. Because len <= maxLen the quota is always 0 or 1, so a
+	// Bresenham error accumulator (er += len; issue and er -= maxLen when
+	// er >= maxLen) reproduces the identical schedule without the two
+	// integer divisions per app per step the closed form costs (the golden
+	// corpus hashes pin the equivalence).
+	er := make([]int, len(apps))
 	for step := 0; step < maxLen && remaining > 0; step++ {
-		for ai := range llcBound {
-			// Proportional pacing: app ai issues len/maxLen refs per step.
-			quota := (len(llcBound[ai])*(step+1))/maxLen - (len(llcBound[ai])*step)/maxLen
-			for q := 0; q < quota && idx[ai] < len(llcBound[ai]); q++ {
-				ref := llcBound[ai][idx[ai]]
+		for ai := range bounds {
+			er[ai] += len(bounds[ai])
+			if er[ai] >= maxLen {
+				er[ai] -= maxLen
+				for idx[ai] >= ends[ai][ph[ai]] {
+					ph[ai]++
+				}
+				addr := bounds[ai][idx[ai]]
 				idx[ai]++
 				remaining--
-				if !llc.Access(ai, ref.addr) {
-					mem[ai][ref.phase].llcMissN++
+				if !llc.Access(ai, addr) {
+					mem[ai][ph[ai]].llcMissN++
 				}
 			}
 		}
@@ -612,7 +802,7 @@ func simulateMemory(cfg Config, apps []App) ([][]phaseMem, []memsim.CacheStats, 
 			}
 			n := memsim.SampleRefs(refs)
 			if n == 0 {
-				continue // see the matching guard above
+				continue // see the matching guard in privateReplay
 			}
 			pm.llcMiss = float64(pm.llcMissN) / float64(n)
 		}

@@ -42,7 +42,7 @@ func zeroRefWorkload(name string) *trace.Workload {
 func TestZeroRefPhaseMissRatesAreZero(t *testing.T) {
 	cfg := DefaultConfig()
 	apps := []App{{Workload: zeroRefWorkload("zref"), Threads: 4}}
-	mem, _, err := simulateMemory(cfg, apps)
+	mem, _, err := simulateMemory(cfg, nil, apps)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestSimulateMemoryScratchReuse(t *testing.T) {
 		stats interface{}
 	}
 	measure := func(apps []App) out {
-		mem, stats, err := simulateMemory(cfg, apps)
+		mem, stats, err := simulateMemory(cfg, nil, apps)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -22,9 +22,21 @@ import (
 	"mapc/internal/ml"
 	"mapc/internal/parallel"
 	"mapc/internal/perfmon"
+	"mapc/internal/simcache"
 	"mapc/internal/trace"
 	"mapc/internal/vision"
 )
+
+// DefaultSimCacheMB is the default byte budget (in MiB) of the cross-bag
+// simulation memo. Sized so the full 91-point paper corpus fits with room
+// to spare: generating it resides ~376 MiB of entries — dominated by
+// gpusim's materialized reference streams and cpusim's LLC-bound lists
+// (both ~8 bytes per sampled reference, per member per slot) plus the
+// whole-run isolated results. At 512 MiB the full default corpus
+// generates with zero evictions; a tighter budget only costs
+// recomputation time, never accuracy (outputs are bit-identical at every
+// budget).
+const DefaultSimCacheMB = 512
 
 // DefaultBatchSizes are the five input sizes of Section V-B: the standard
 // 20-image batch and its doublings.
@@ -99,6 +111,15 @@ type Config struct {
 	// Table-II suite (canonical vision benchmark names). Nil or empty
 	// means all nine. Primarily for tests and partial regenerations.
 	Benchmarks []string
+	// SimCacheMB bounds the cross-bag simulation memo (internal/simcache)
+	// in MiB: memoized pure simulation prefixes — per-app private cache
+	// replays, materialized GPU reference streams, whole isolated runs —
+	// shared across every bag the generator measures. 0 disables the memo
+	// (the exact cold path); negative values are rejected by NewGenerator.
+	// Like Workers, the value never changes outputs, only speed: corpora
+	// are bit-for-bit identical at every budget, so it is excluded from
+	// the journal's config fingerprint.
+	SimCacheMB int
 }
 
 // EffectiveWorkers resolves the configured worker count: values <= 0 mean
@@ -127,6 +148,7 @@ func DefaultConfig() Config {
 		MixedPairs:     10,
 		CanonicalOrder: true,
 		Workers:        runtime.NumCPU(),
+		SimCacheMB:     DefaultSimCacheMB,
 	}
 }
 
@@ -151,10 +173,15 @@ type measureEntry struct {
 
 // Generator builds corpora; it caches instrumented runs across points. All
 // methods are safe for concurrent use: the measurement memo is a
-// singleflight map, and every simulator run operates on private clones of
-// the cached workloads.
+// singleflight map, the simulation memo is concurrency-safe, and the
+// simulators honour a read-only contract on the cached workloads (no
+// cloning needed; see cpusim.App and gpusim.Run).
 type Generator struct {
 	cfg Config
+
+	// memo is the cross-bag simulation-prefix cache threaded into every
+	// cpusim/gpusim run; nil when Config.SimCacheMB == 0 (cold path).
+	memo *simcache.Cache
 
 	// fault is the chaos-testing hook (nil in production): fired once per
 	// bag at FaultSitePoint before the bag is measured.
@@ -181,6 +208,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("dataset: negative worker count %d (0 means NumCPU, 1 means serial)", cfg.Workers)
 	}
+	if cfg.SimCacheMB < 0 {
+		return nil, fmt.Errorf("dataset: negative simulation cache budget %d MB (0 disables the memo)", cfg.SimCacheMB)
+	}
 	seen := make(map[string]int, len(cfg.Benchmarks))
 	for i, n := range cfg.Benchmarks {
 		if strings.TrimSpace(n) == "" {
@@ -195,11 +225,20 @@ func NewGenerator(cfg Config) (*Generator, error) {
 			return nil, fmt.Errorf("dataset: Benchmarks[%d]: %w", i, err)
 		}
 	}
-	return &Generator{cfg: cfg, cache: map[Member]*measureEntry{}}, nil
+	var memo *simcache.Cache
+	if cfg.SimCacheMB > 0 {
+		memo = simcache.MustNew(int64(cfg.SimCacheMB) << 20)
+	}
+	return &Generator{cfg: cfg, memo: memo, cache: map[Member]*measureEntry{}}, nil
 }
 
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
+
+// SimCacheStats returns a snapshot of the simulation memo's counters
+// (zeros when the memo is disabled). Exposed on mapc-serve /metrics and in
+// the mapc-datagen end-of-run summary.
+func (g *Generator) SimCacheStats() simcache.Stats { return g.memo.Stats() }
 
 // SetFaultInjector installs a chaos-testing hook fired once per bag index
 // at FaultSitePoint before the bag is measured. Production code never
@@ -237,11 +276,11 @@ func (g *Generator) runMeasurement(m Member) (*measurement, error) {
 	if err != nil {
 		return nil, err
 	}
-	cpuRes, err := cpusim.Run(g.cfg.CPU, []cpusim.App{{Workload: res.Workload, Threads: g.cfg.Threads}})
+	cpuRes, err := cpusim.RunMemo(g.cfg.CPU, g.memo, []cpusim.App{{Workload: res.Workload, Threads: g.cfg.Threads}})
 	if err != nil {
 		return nil, err
 	}
-	gpuRes, err := gpusim.Run(g.cfg.GPU, []*trace.Workload{res.Workload})
+	gpuRes, err := gpusim.RunMemo(g.cfg.GPU, g.memo, []*trace.Workload{res.Workload})
 	if err != nil {
 		return nil, err
 	}
@@ -287,9 +326,13 @@ func (g *Generator) FeaturesFor(a, b Member) (x []float64, fairness float64, err
 		a, b = b, a
 		ma, mb = mb, ma
 	}
-	cpuShared, err := cpusim.Run(g.cfg.CPU, []cpusim.App{
-		{Workload: ma.workload.Clone(), Threads: g.cfg.Threads},
-		{Workload: mb.workload.Clone(), Threads: g.cfg.Threads},
+	// The cached workloads are passed directly: the simulators are
+	// read-only on their inputs (contract documented on cpusim.App and
+	// gpusim.Run, enforced by the mutation-guard tests), so per-point
+	// clones are unnecessary.
+	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, []cpusim.App{
+		{Workload: ma.workload, Threads: g.cfg.Threads},
+		{Workload: mb.workload, Threads: g.cfg.Threads},
 	})
 	if err != nil {
 		return nil, 0, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
@@ -333,11 +376,11 @@ func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
 		ma, mb = mb, ma
 	}
 
-	// Shared CPU run → fairness (Equation 2). Clones keep the cached
-	// workloads immutable.
-	cpuShared, err := cpusim.Run(g.cfg.CPU, []cpusim.App{
-		{Workload: ma.workload.Clone(), Threads: g.cfg.Threads},
-		{Workload: mb.workload.Clone(), Threads: g.cfg.Threads},
+	// Shared CPU run → fairness (Equation 2). The cached workloads are
+	// passed directly under the simulators' read-only contract; no clones.
+	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, []cpusim.App{
+		{Workload: ma.workload, Threads: g.cfg.Threads},
+		{Workload: mb.workload, Threads: g.cfg.Threads},
 	})
 	if err != nil {
 		return Point{}, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
@@ -356,8 +399,8 @@ func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
 	}
 
 	// Shared GPU run → the target bag time.
-	gpuShared, err := gpusim.Run(g.cfg.GPU, []*trace.Workload{
-		ma.workload.Clone(), mb.workload.Clone(),
+	gpuShared, err := gpusim.RunMemo(g.cfg.GPU, g.memo, []*trace.Workload{
+		ma.workload, mb.workload,
 	})
 	if err != nil {
 		return Point{}, fmt.Errorf("dataset: shared GPU run %v+%v: %w", a, b, err)

@@ -26,6 +26,13 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 			var points int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				// A real mapc-datagen invocation starts with a clean heap;
+				// drop the previous iteration's dead generator (including its
+				// simulation memo, hundreds of MiB) outside the timed window
+				// so its collection is not charged to this iteration.
+				b.StopTimer()
+				runtime.GC()
+				b.StartTimer()
 				gen, err := NewGenerator(cfg)
 				if err != nil {
 					b.Fatal(err)

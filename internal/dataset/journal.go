@@ -61,9 +61,11 @@ func BagKey(a, b Member) string {
 
 // Fingerprint is a stable digest of every Config field that influences
 // measured point values: simulator parameters, batch sizes, threads, seed,
-// mixed pairs, ordering, and the effective benchmark list. Workers is
-// deliberately excluded — outputs are worker-count invariant, so a corpus
-// journaled at -workers 8 may be resumed at -workers 1 and vice versa.
+// mixed pairs, ordering, and the effective benchmark list. Workers and
+// SimCacheMB are deliberately excluded — outputs are invariant to both
+// (points are bit-identical at every worker count and memo budget), so a
+// corpus journaled at -workers 8 -simcache-mb 256 may be resumed at
+// -workers 1 -simcache-mb 0 and vice versa.
 func (c Config) Fingerprint() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cpu=%+v;gpu=%+v;batches=%v;threads=%d;seed=%d;mixed=%d;canonical=%t;benchmarks=%s",

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"testing"
+)
+
+// These tests pin the simulation memo's bit-identity guarantee at the
+// corpus level: the golden SHA-256 hashes recorded on pre-memo code must
+// be reproduced with the memo disabled (SimCacheMB=0, the exact cold
+// path), at the default budget (the regular golden tests already run
+// memo-on via DefaultConfig/smallConfig), and at a deliberately starved
+// budget where entries are continuously evicted and recomputed. Eviction
+// may change only *when* values are recomputed, never what they are.
+
+// TestCorpusGoldenHashMemoOff proves SimCacheMB=0 is the exact legacy
+// cold path.
+func TestCorpusGoldenHashMemoOff(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SimCacheMB = 0
+	checkCorpusHash(t, cfg, goldenSmallCorpusHash, "memo-off")
+}
+
+// TestCorpusGoldenHashMemoEviction starves the memo to 1 MiB — far below
+// the small corpus's working set, so the LRU evicts constantly — and
+// requires the byte-identical golden hash plus evidence the pressure was
+// real.
+func TestCorpusGoldenHashMemoEviction(t *testing.T) {
+	cfg := smallConfig()
+	cfg.SimCacheMB = 1
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashCorpus(c); got != goldenSmallCorpusHash {
+		t.Errorf("eviction-pressure corpus hash = %s, want %s\n"+
+			"eviction changed simulation outputs — the memo must be bit-identical at every budget",
+			got, goldenSmallCorpusHash)
+	}
+	st := gen.SimCacheStats()
+	if st.Evictions == 0 {
+		t.Fatalf("1 MiB budget evicted nothing (%+v); the pressure case is inert — shrink the budget", st)
+	}
+	if st.Bytes > int64(cfg.SimCacheMB)<<20 {
+		t.Fatalf("resident bytes %d exceed the %d MiB budget", st.Bytes, cfg.SimCacheMB)
+	}
+}
+
+// TestCorpusGoldenHashMemoDefaultStats re-runs the small corpus at the
+// default budget and asserts the memo actually carried the load: with 3
+// benchmarks x 3 batches over dozens of bags, the overwhelming majority
+// of prefix lookups must hit.
+func TestCorpusGoldenHashMemoDefaultStats(t *testing.T) {
+	gen, err := NewGenerator(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hashCorpus(c); got != goldenSmallCorpusHash {
+		t.Errorf("memo-on corpus hash = %s, want %s", got, goldenSmallCorpusHash)
+	}
+	st := gen.SimCacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("memo not exercised during generation: %+v", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("default budget evicted %d entries on the small corpus; budget accounting regressed (%+v)", st.Evictions, st)
+	}
+	if hr := st.HitRate(); hr < 0.5 {
+		t.Fatalf("hit rate %.2f < 0.5 over the small corpus: the memo is not deduplicating per-member prefixes (%+v)", hr, st)
+	}
+}

@@ -23,10 +23,12 @@ package gpusim
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"mapc/internal/isa"
 	"mapc/internal/memsim"
+	"mapc/internal/simcache"
 	"mapc/internal/trace"
 )
 
@@ -188,7 +190,24 @@ type phaseMem struct {
 // This matches real MPS behaviour, where a short job's exit releases its SM
 // partition to the remaining clients. A single-element slice is an isolated
 // run.
+//
+// Read-only contract: Run (and RunMemo) never mutate the workloads — they
+// may be shared across concurrent calls and reused afterwards without
+// cloning. TestRunTreatsWorkloadsAsReadOnly enforces this with a
+// full-field fingerprint before/after.
 func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
+	return RunMemo(cfg, nil, workloads)
+}
+
+// RunMemo is Run with a cross-call simulation memo. A non-nil memo caches
+// the pure prefixes of the memory simulation — the materialized per-slot
+// reference streams ("gpusim/stream", config-independent) and entire
+// single-client simulations ("gpusim/iso") — so repeated runs over the
+// same workloads replay only the genuinely shared TLB/L2 interleave.
+// Outputs are bit-identical to Run at every memo budget, including nil:
+// cached values are exactly the bytes the cold path produces, and entries
+// are immutable once published.
+func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,7 +225,7 @@ func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
 
 	// Steady-state results for the full client set: the per-app rates and
 	// statistics while everyone is resident.
-	steady, err := runSteady(cfg, workloads)
+	steady, err := runSteady(cfg, memo, workloads)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +275,7 @@ func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
 		for k, ai := range active {
 			sub[k] = workloads[ai]
 		}
-		cur, err = runSteady(cfg, sub)
+		cur, err = runSteady(cfg, memo, sub)
 		if err != nil {
 			return nil, err
 		}
@@ -279,8 +298,8 @@ func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
 
 // runSteady computes per-app execution times assuming the full client set
 // stays resident for the whole run.
-func runSteady(cfg Config, workloads []*trace.Workload) ([]Result, error) {
-	mem, l2Stats, tlbStats, err := simulateMemory(cfg, workloads)
+func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]Result, error) {
+	mem, l2Stats, tlbStats, err := simulateMemory(cfg, memo, workloads)
 	if err != nil {
 		return nil, err
 	}
@@ -386,7 +405,7 @@ func PhaseBreakdown(cfg Config, workloads []*trace.Workload, client int) ([]Phas
 			return nil, fmt.Errorf("gpusim: workload %d: %w", i, err)
 		}
 	}
-	mem, _, _, err := simulateMemory(cfg, workloads)
+	mem, _, _, err := simulateMemory(cfg, nil, workloads)
 	if err != nil {
 		return nil, err
 	}
@@ -517,37 +536,102 @@ func occupancyScale(occ float64) float64 {
 	return occ
 }
 
-// tagged is one sampled reference annotated with its producing phase, the
-// unit the interleaving loop consumes.
-type tagged struct {
-	phase int
-	addr  uint64
-}
-
-// simScratch holds the interleaving buffers simulateMemory reuses across
-// calls: the flat tagged-reference arena (all clients' streams, partitioned
-// by exact precomputed size) and the per-phase address batch Stream.Fill
-// writes into. Pooled because corpus generation calls simulateMemory
+// simScratch holds the cold-path stream arena simulateMemory reuses across
+// calls: all clients' sampled reference addresses, partitioned by exact
+// precomputed size. Pooled because corpus generation calls simulateMemory
 // thousands of times, potentially from concurrent measurement workers.
 type simScratch struct {
-	refs  []tagged
 	addrs []uint64
 }
 
-// grow sizes the scratch buffers, reusing prior capacity, and returns the
-// tagged arena with length total.
-func (s *simScratch) grow(total, maxPhase int) []tagged {
-	if cap(s.refs) < total {
-		s.refs = make([]tagged, total)
+// grow sizes the arena, reusing prior capacity, and returns it with length
+// total.
+func (s *simScratch) grow(total int) []uint64 {
+	if cap(s.addrs) < total {
+		s.addrs = make([]uint64, total)
 	}
-	if cap(s.addrs) < maxPhase {
-		s.addrs = make([]uint64, maxPhase)
-	}
-	s.addrs = s.addrs[:cap(s.addrs)]
-	return s.refs[:cap(s.refs)][:total]
+	return s.addrs[:cap(s.addrs)][:total]
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
+
+// Memo key domains (simcache.Key.Domain) for the two cached prefixes.
+const (
+	memoDomainStream = "gpusim/stream" // materialized per-slot reference stream
+	memoDomainIso    = "gpusim/iso"    // entire single-client memory simulation
+)
+
+// configKey renders cfg exactly for memo keys: two configurations share a
+// cache entry only when every field of the simulated device is identical.
+func configKey(cfg Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// streamEntry is the memoized reference stream of one (workload, slot):
+// the sampled addresses of every phase, phase-contiguous, with ends[pi]
+// the first index past phase pi. Stream generation is a pure function of
+// the workload and the slot alone — seeds hash (benchmark, phase, batch,
+// slot) and the address-space base is slot-derived — so stream entries are
+// keyed with an empty Config and shared across device configurations.
+// Cached entries are immutable: the interleave only reads them.
+type streamEntry struct {
+	addrs []uint64
+	ends  []int
+}
+
+// bytes reports the entry's approximate resident size for LRU accounting.
+func (se streamEntry) bytes() int64 {
+	return int64(cap(se.addrs))*8 + int64(len(se.ends))*8 + 64
+}
+
+// isoResult is the memoized outcome of a whole single-client simulateMemory
+// call: with one client the TLB never flushes (n > 1 gate) and nothing is
+// shared, so the per-phase miss behaviour and L2/TLB statistics are pure
+// in (cfg, workload). Immutable.
+type isoResult struct {
+	mem      [][]phaseMem
+	l2Stats  []memsim.CacheStats
+	tlbStats []memsim.CacheStats
+}
+
+func (ir isoResult) bytes() int64 {
+	var n int64 = 128
+	for _, m := range ir.mem {
+		n += int64(len(m)) * 16
+	}
+	n += int64(len(ir.l2Stats)+len(ir.tlbStats)) * 16
+	return n
+}
+
+// materializeStream fills addrs (length = the workload's exact sample
+// count) with every phase's sampled reference stream and returns the
+// phase-contiguous streamEntry over it. Pure in (w, ai).
+func materializeStream(w *trace.Workload, ai int, addrs []uint64) (streamEntry, error) {
+	base := uint64(ai+1) << 40
+	// Seed strings are per-slot constants; strconv.Itoa produces exactly
+	// the bytes fmt.Sprint emitted here before, without the interface
+	// boxing per phase.
+	batchStr := strconv.Itoa(w.BatchSize)
+	slotStr := strconv.Itoa(ai)
+	ends := make([]int, len(w.Phases))
+	pos := 0
+	for pi := range w.Phases {
+		p := &w.Phases[pi]
+		refs := p.MemRefs()
+		if refs == 0 {
+			ends[pi] = pos
+			continue
+		}
+		seed := memsim.StreamSeed("gpu", w.Benchmark, p.Name, batchStr, slotStr)
+		st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+		if err != nil {
+			return streamEntry{}, err
+		}
+		k := memsim.SampleRefs(refs)
+		st.Fill(addrs[pos : pos+k])
+		pos += k
+		ends[pi] = pos
+	}
+	return streamEntry{addrs: addrs[:pos], ends: ends}, nil
+}
 
 // simulateMemory interleaves every client's sampled reference stream into
 // the shared L2 and shared TLB, with periodic TLB flushes when more than
@@ -555,10 +639,43 @@ var scratchPool = sync.Pool{New: func() any { return new(simScratch) }}
 //
 // The hot path is allocation-free: per-client sample counts are exact
 // functions of the workload (SampleRefs is pure), so the stream arena is
-// sized once up front from a pooled scratch buffer, and each phase's
-// references are generated through one batched Stream.Fill instead of
-// per-reference appends.
-func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []memsim.CacheStats, []memsim.CacheStats, error) {
+// sized once up front from a pooled scratch buffer and each phase's
+// references are generated through one batched Stream.Fill directly into
+// its arena segment.
+//
+// With a non-nil memo, single-client calls are answered entirely from the
+// isolated-run memo and multi-client calls reuse memoized streams,
+// replaying only the genuinely shared TLB/L2 interleave. Outputs are
+// bit-identical to the cold path at every budget.
+func simulateMemory(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([][]phaseMem, []memsim.CacheStats, []memsim.CacheStats, error) {
+	if memo != nil && len(workloads) == 1 {
+		key := simcache.Key{
+			Domain:   memoDomainIso,
+			Config:   configKey(cfg),
+			Workload: workloads[0].Fingerprint(),
+			Slot:     0,
+		}
+		v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+			mem, l2s, tlbs, err := simulateMemoryShared(cfg, memo, workloads)
+			if err != nil {
+				return nil, 0, err
+			}
+			ir := isoResult{mem: mem, l2Stats: l2s, tlbStats: tlbs}
+			return ir, ir.bytes(), nil
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ir := v.(isoResult)
+		return ir.mem, ir.l2Stats, ir.tlbStats, nil
+	}
+	return simulateMemoryShared(cfg, memo, workloads)
+}
+
+// simulateMemoryShared is the full memory simulation: stream
+// materialization (memo hits or cold fills) followed by the shared TLB/L2
+// interleave.
+func simulateMemoryShared(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([][]phaseMem, []memsim.CacheStats, []memsim.CacheStats, error) {
 	n := len(workloads)
 	l2, err := memsim.NewCache("gpul2", cfg.L2Bytes, cfg.L2Ways, n)
 	if err != nil {
@@ -571,82 +688,110 @@ func simulateMemory(cfg Config, workloads []*trace.Workload) ([][]phaseMem, []me
 
 	mem := make([][]phaseMem, n)
 	counts := make([]int, n)
-	total, maxPhase := 0, 0
+	total := 0
 	for ai, w := range workloads {
 		mem[ai] = make([]phaseMem, len(w.Phases))
 		for pi := range w.Phases {
 			if refs := w.Phases[pi].MemRefs(); refs > 0 {
-				k := memsim.SampleRefs(refs)
-				counts[ai] += k
-				if k > maxPhase {
-					maxPhase = k
-				}
+				counts[ai] += memsim.SampleRefs(refs)
 			}
 		}
 		total += counts[ai]
 	}
 
-	scratch := scratchPool.Get().(*simScratch)
-	defer scratchPool.Put(scratch)
-	arena := scratch.grow(total, maxPhase)
-
-	streams := make([][]tagged, n)
-	pos := 0
+	// Pooled arena, acquired lazily: an all-hit memoized run never touches
+	// it.
+	var scratch *simScratch
+	var arena []uint64
+	defer func() {
+		if scratch != nil {
+			scratchPool.Put(scratch)
+		}
+	}()
+	off := 0
+	streams := make([][]uint64, n)
+	ends := make([][]int, n)
 	for ai, w := range workloads {
-		start := pos
-		base := uint64(ai+1) << 40
-		for pi := range w.Phases {
-			p := &w.Phases[pi]
-			refs := p.MemRefs()
-			if refs == 0 {
-				continue
-			}
-			seed := memsim.StreamSeed("gpu", w.Benchmark, p.Name, fmt.Sprint(w.BatchSize), fmt.Sprint(ai))
-			st, err := memsim.NewStream(p, base+uint64(pi)<<32, seed)
+		if memo != nil {
+			w, ai := w, ai // capture per-iteration for the compute closure
+			key := simcache.Key{Domain: memoDomainStream, Workload: w.Fingerprint(), Slot: ai}
+			v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+				// Exact-capacity heap slice: the entry outlives this
+				// call, so it cannot live in the pooled arena.
+				se, err := materializeStream(w, ai, make([]uint64, counts[ai]))
+				if err != nil {
+					return nil, 0, err
+				}
+				return se, se.bytes(), nil
+			})
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			k := memsim.SampleRefs(refs)
-			addrs := scratch.addrs[:k]
-			st.Fill(addrs)
-			for j, a := range addrs {
-				arena[pos+j] = tagged{phase: pi, addr: a}
-			}
-			pos += k
+			se := v.(streamEntry)
+			streams[ai], ends[ai] = se.addrs, se.ends
+			continue
 		}
-		streams[ai] = arena[start:pos:pos]
+		if scratch == nil {
+			scratch = scratchPool.Get().(*simScratch)
+			arena = scratch.grow(total)
+		}
+		se, err := materializeStream(w, ai, arena[off:off+counts[ai]])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		off += counts[ai]
+		streams[ai], ends[ai] = se.addrs, se.ends
 	}
 
 	// Interleave all clients proportionally; every reference consults the
-	// shared TLB then the shared L2.
+	// shared TLB then the shared L2. Phase attribution follows the cursor
+	// through the phase-contiguous stream (ends[ai][p] is the first index
+	// past phase p), replacing the per-reference phase tag.
 	idx := make([]int, n)
+	ph := make([]int, n)
 	maxLen := 0
 	for ai := range streams {
 		if len(streams[ai]) > maxLen {
 			maxLen = len(streams[ai])
 		}
 	}
-	var issued int
 	phaseAcc := make([][]struct{ acc, l2m, tlbm uint64 }, n)
 	for ai, w := range workloads {
 		phaseAcc[ai] = make([]struct{ acc, l2m, tlbm uint64 }, len(w.Phases))
 	}
+	// Each client issues quota(step) = floor(len*(step+1)/maxLen) -
+	// floor(len*step/maxLen) references per step; len <= maxLen makes that
+	// 0 or 1, so a Bresenham error accumulator replays the identical
+	// schedule without two integer divisions per client per step. The TLB
+	// flush on every TLBFlushPeriod-th issued reference likewise becomes a
+	// countdown instead of a modulo. Both are pinned bit-identical by the
+	// golden corpus hashes and the memoized-vs-cold differential tests.
+	er := make([]int, n)
+	flushEvery := n > 1 && cfg.TLBFlushPeriod > 0
+	flushIn := cfg.TLBFlushPeriod
 	for step := 0; step < maxLen; step++ {
 		for ai := range streams {
-			quota := (len(streams[ai])*(step+1))/maxLen - (len(streams[ai])*step)/maxLen
-			for q := 0; q < quota && idx[ai] < len(streams[ai]); q++ {
-				ref := streams[ai][idx[ai]]
-				idx[ai]++
-				issued++
-				if n > 1 && cfg.TLBFlushPeriod > 0 && issued%cfg.TLBFlushPeriod == 0 {
-					tlb.Flush()
+			er[ai] += len(streams[ai])
+			if er[ai] >= maxLen {
+				er[ai] -= maxLen
+				for idx[ai] >= ends[ai][ph[ai]] {
+					ph[ai]++
 				}
-				pa := &phaseAcc[ai][ref.phase]
+				addr := streams[ai][idx[ai]]
+				idx[ai]++
+				if flushEvery {
+					flushIn--
+					if flushIn == 0 {
+						tlb.Flush()
+						flushIn = cfg.TLBFlushPeriod
+					}
+				}
+				pa := &phaseAcc[ai][ph[ai]]
 				pa.acc++
-				if !tlb.Access(ai, ref.addr) {
+				if !tlb.Access(ai, addr) {
 					pa.tlbm++
 				}
-				if !l2.Access(ai, ref.addr) {
+				if !l2.Access(ai, addr) {
 					pa.l2m++
 				}
 			}

@@ -24,7 +24,7 @@ func TestSimulateMemoryScratchReuse(t *testing.T) {
 		l2, tlbs interface{}
 	}
 	measure := func(ws []*trace.Workload) out {
-		mem, l2, tlbs, err := simulateMemory(cfg, ws)
+		mem, l2, tlbs, err := simulateMemory(cfg, nil, ws)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -36,8 +36,8 @@ func tlbStateEqual(t *testing.T, step int, fast *TLB, ref *refTLB) {
 				step, i, page, src, ref.pages[i], ref.srcs[i])
 		}
 	}
-	if len(fast.index) != fast.nextFree {
-		t.Fatalf("step %d: index has %d keys, %d valid slots", step, len(fast.index), fast.nextFree)
+	if fast.index.len() != fast.nextFree {
+		t.Fatalf("step %d: index has %d keys, %d valid slots", step, fast.index.len(), fast.nextFree)
 	}
 	// Walking LRU -> MRU must visit strictly increasing reference clocks.
 	last := uint64(0)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mapc/internal/simcache"
 )
 
 // Metrics is the service's stdlib-only instrumentation: request counters by
@@ -34,6 +36,11 @@ type Metrics struct {
 	// panics counts recovered request panics (middleware + measurement
 	// pool): each one answered 500 while the process kept serving.
 	panics atomic.Int64
+
+	// simStats snapshots the generator's simulation-memo counters
+	// (internal/simcache) at exposition time; nil until
+	// SetSimCacheSource installs one, in which case zeros are rendered.
+	simStats func() simcache.Stats
 }
 
 // NewMetrics returns a zeroed metrics set with the clock started.
@@ -126,6 +133,11 @@ func (m *Metrics) RejectSaturated()  { m.rejected.saturated.Add(1) }
 func (m *Metrics) RejectTimeout()    { m.rejected.timeout.Add(1) }
 func (m *Metrics) RejectValidation() { m.rejected.validation.Add(1) }
 
+// SetSimCacheSource installs the snapshot function behind the
+// mapc_simcache_* metrics (typically dataset.Generator.SimCacheStats).
+// Call before serving begins; the source itself must be concurrency-safe.
+func (m *Metrics) SetSimCacheSource(src func() simcache.Stats) { m.simStats = src }
+
 // Panic records one recovered request panic (the request got a 500; the
 // process survived).
 func (m *Metrics) Panic() { m.panics.Add(1) }
@@ -181,10 +193,11 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 	}
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
-	lines := []struct {
+	type metricLine struct {
 		name string
 		val  any
-	}{
+	}
+	lines := []metricLine{
 		{"mapc_requests_inflight", m.inFlight.Load()},
 		{`mapc_request_duration_seconds{quantile="0.5"}`, q50},
 		{`mapc_request_duration_seconds{quantile="0.9"}`, q90},
@@ -201,6 +214,19 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"mapc_feature_cache_hit_ratio", m.CacheHitRate()},
 		{"mapc_uptime_seconds", time.Since(m.start).Seconds()},
 	}
+	// Simulation-memo counters (internal/simcache): totals plus the
+	// resident-bytes gauge.
+	var sim simcache.Stats
+	if m.simStats != nil {
+		sim = m.simStats()
+	}
+	lines = append(lines,
+		metricLine{"mapc_simcache_hits_total", sim.Hits},
+		metricLine{"mapc_simcache_misses_total", sim.Misses},
+		metricLine{"mapc_simcache_evictions_total", sim.Evictions},
+		metricLine{"mapc_simcache_bytes", sim.Bytes},
+		metricLine{"mapc_simcache_hit_ratio", sim.HitRate()},
+	)
 	for _, l := range lines {
 		var err error
 		switch v := l.val.(type) {

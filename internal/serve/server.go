@@ -122,6 +122,11 @@ func New(cfg Config) (*Server, error) {
 		cache:    newFeatureCache(cfg.Generator),
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
+	// /metrics reports the generator's simulation-memo counters alongside
+	// the request-level feature cache: the feature cache dedupes repeated
+	// bags, the simcache dedupes the pure simulation prefixes *inside*
+	// fresh bags.
+	s.metrics.SetSimCacheSource(cfg.Generator.SimCacheStats)
 	s.featuresFn = s.cachedFeatures
 	return s, nil
 }

@@ -1,0 +1,286 @@
+// Package simcache is the cross-bag memoization layer for pure simulation
+// prefixes: a concurrency-safe, byte-bounded, LRU-evicting cache shared by
+// the CPU and GPU simulators.
+//
+// The corpus of Section V-B runs thousands of 2-application bags over the
+// same handful of benchmark workloads, and large pieces of each bag's
+// simulation are pure functions of a *single* member: synthetic stream
+// generation, the private L1/L2 replay, and the entire isolated
+// (single-client) memory simulation. This cache lets cpusim and gpusim
+// compute each of those prefixes exactly once per (config, workload, slot)
+// and replay only the genuinely shared structures (LLC, device L2, TLB)
+// per bag — with guaranteed bit-identical outputs, because every cached
+// value is exactly the bytes the cold path would have produced and entries
+// are immutable once published.
+//
+// Concurrency: lookups singleflight — concurrent requests for the same key
+// block on one computation (the measurement worker pool frequently asks
+// for the same member from several bags at once). Entries are published
+// only after the compute function returns; waiters never observe partial
+// values. A panicking compute poisons nobody: the entry is evicted, the
+// panic propagates to the caller (where the worker pool's containment
+// converts it into a typed error), and waiters receive a retryable error.
+//
+// Bounding: every entry carries a caller-reported byte size; when the
+// total exceeds the configured budget the least-recently-used entries are
+// dropped. Eviction changes only *when* values are recomputed, never what
+// they are, so outputs are bit-identical at every budget — including zero,
+// which is expressed as a nil *Cache (all methods are nil-safe no-ops and
+// callers fall back to the cold path).
+package simcache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Key identifies one memoized simulation prefix. All fields participate in
+// equality:
+//
+//   - Domain separates caching sites ("cpusim/priv", "gpusim/iso", ...) so
+//     different value types never collide.
+//   - Config is the exact textual rendering of the simulator configuration
+//     (fmt "%+v"): two configs reuse an entry only when every field of the
+//     simulated machine is identical.
+//   - Workload is trace.Workload.Fingerprint(): a 64-bit digest of every
+//     field of the workload. Two distinct workloads share an entry only on
+//     a fingerprint collision (~2^-64 per pair; the suite has tens of
+//     workloads).
+//   - Slot is the client index the workload occupies in the run: slots
+//     determine the address-space base and the stream seeds, so the same
+//     workload at slot 0 and slot 1 produces different streams.
+type Key struct {
+	Domain   string
+	Config   string
+	Workload uint64
+	Slot     int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 // lookups served from a published entry (incl. singleflight waits)
+	Misses    int64 // lookups that ran the compute function
+	Evictions int64 // entries dropped by the LRU bound
+	Bytes     int64 // resident entry bytes (caller-reported)
+	Entries   int   // resident entry count
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// entry is one singleflight slot. done is closed exactly once, after val,
+// bytes and err are final; waiters synchronize on it and then read those
+// fields without the cache lock.
+type entry struct {
+	key   Key
+	done  chan struct{}
+	val   any
+	bytes int64
+	err   error
+
+	// LRU intrusive list; only published (successful) entries are linked.
+	prev, next *entry
+}
+
+// Cache is the bounded memo. The zero value is not usable; create with
+// New. A nil *Cache is the documented "disabled" state: GetOrCompute runs
+// the compute function every time and Stats returns zeros.
+type Cache struct {
+	budget int64 // bytes; > 0 (New rejects other values)
+
+	mu        sync.Mutex
+	entries   map[Key]*entry
+	head      *entry // most recently used
+	tail      *entry // least recently used
+	bytes     int64
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// New returns a cache bounded to budgetBytes of caller-reported entry
+// bytes. budgetBytes must be positive: "no cache" is spelled as a nil
+// *Cache, not a zero budget, so disabled paths never pay for map upkeep.
+func New(budgetBytes int64) (*Cache, error) {
+	if budgetBytes <= 0 {
+		return nil, fmt.Errorf("simcache: budget must be positive, got %d (disable by passing a nil *Cache instead)", budgetBytes)
+	}
+	return &Cache{budget: budgetBytes, entries: make(map[Key]*entry)}, nil
+}
+
+// MustNew is New for callers with a known-good constant budget.
+func MustNew(budgetBytes int64) *Cache {
+	c, err := New(budgetBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// GetOrCompute returns the memoized value for key, running compute at most
+// once per resident generation of the key. compute reports the value and
+// its approximate resident size in bytes; the value MUST be immutable
+// after return (callers receive the same value concurrently).
+//
+// The second return is true on a cache hit (including waiting on another
+// goroutine's in-flight computation). Errors are never cached: a failed or
+// panicked compute unpublishes the key so the next lookup retries.
+//
+// A nil receiver runs compute directly — the cold path, bit-identical by
+// construction.
+func (c *Cache) GetOrCompute(key Key, compute func() (value any, bytes int64, err error)) (any, bool, error) {
+	if c == nil {
+		v, _, err := compute()
+		return v, false, err
+	}
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.done:
+			// Published: bump recency under the same lock.
+			c.moveToFront(e)
+			c.hits++
+			c.mu.Unlock()
+			return e.val, true, e.err
+		default:
+			// In flight: wait outside the lock.
+			c.hits++
+			c.mu.Unlock()
+			<-e.done
+			return e.val, true, e.err
+		}
+	}
+	e := &entry{key: key, done: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	c.mu.Unlock()
+
+	// Compute outside the lock. If compute panics, unpublish the entry and
+	// hand waiters a retryable error before letting the panic propagate to
+	// this caller (the measurement pool converts it to a PanicError).
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		e.err = fmt.Errorf("simcache: compute for %v panicked in another goroutine; retry", key)
+		close(e.done)
+	}()
+	val, bytes, err := compute()
+	completed = true
+
+	if err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+		e.err = err
+		close(e.done)
+		return nil, false, err
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	e.val, e.bytes = val, bytes
+	c.mu.Lock()
+	c.pushFront(e)
+	c.bytes += e.bytes
+	// Evict least-recently-used published entries until we fit. The entry
+	// just inserted is at the front, so it is evicted only if it alone
+	// exceeds the whole budget — in which case it is returned to the
+	// caller but not retained.
+	for c.bytes > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	c.mu.Unlock()
+	close(e.done)
+	return val, false, nil
+}
+
+// moveToFront relinks e as most-recently-used. Caller holds mu.
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// pushFront links e at the head. Caller holds mu.
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// unlink removes e from the recency list. Caller holds mu.
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// evict drops a published entry. Caller holds mu.
+func (c *Cache) evict(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.key)
+	c.bytes -= e.bytes
+	c.evictions++
+}
+
+// Stats returns a snapshot of the counters. Nil-safe: a disabled cache
+// reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+		Entries:   len(c.entries),
+	}
+}
+
+// Budget returns the configured byte budget (0 for a nil cache).
+func (c *Cache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"testing"
+
+	"mapc/internal/isa"
+)
+
+// fpWorkload builds a two-phase workload covering every field the
+// fingerprint must observe, with distinct non-zero values so that any
+// dropped field would go unnoticed only if two perturbations collide.
+func fpWorkload() *Workload {
+	var c0, c1 isa.Counts
+	c0[isa.MEM] = 1000
+	c0[isa.ALU] = 2000
+	c1[isa.MEM] = 500
+	c1[isa.Control] = 300
+	return &Workload{
+		Benchmark:     "fp-bench",
+		BatchSize:     16,
+		TransferBytes: 1 << 20,
+		Phases: []Phase{
+			{
+				Name:        "stream",
+				Counts:      c0,
+				Footprint:   1 << 16,
+				Pattern:     Sequential,
+				Reuse:       0.25,
+				Parallelism: 64,
+				VectorWidth: 4,
+				Launches:    2,
+			},
+			{
+				Name:           "probe",
+				Counts:         c1,
+				Footprint:      1 << 14,
+				Pattern:        Strided,
+				StrideBytes:    128,
+				Reuse:          0.5,
+				Parallelism:    32,
+				VectorWidth:    1,
+				BatchInvariant: true,
+				Launches:       1,
+			},
+		},
+	}
+}
+
+// TestFingerprintDeterministicAndCloneStable pins the two properties the
+// memo keys rely on: repeated calls agree, and a Clone (the exact copy the
+// read-only-contract tests compare against) fingerprints identically.
+func TestFingerprintDeterministicAndCloneStable(t *testing.T) {
+	w := fpWorkload()
+	fp := w.Fingerprint()
+	for i := 0; i < 3; i++ {
+		if got := w.Fingerprint(); got != fp {
+			t.Fatalf("call %d: fingerprint %x != first call %x", i, got, fp)
+		}
+	}
+	if got := w.Clone().Fingerprint(); got != fp {
+		t.Fatalf("clone fingerprint %x != original %x", got, fp)
+	}
+	if got := fpWorkload().Fingerprint(); got != fp {
+		t.Fatalf("independently built workload fingerprint %x != %x", got, fp)
+	}
+}
+
+// TestFingerprintSensitivity perturbs every field Fingerprint hashes, one
+// at a time, and requires the fingerprint to move. A field the hash
+// silently ignores would let two distinct workloads share a simcache key
+// and corrupt memoized simulation results.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpWorkload().Fingerprint()
+	seen := map[uint64]string{base: "base"}
+
+	cases := []struct {
+		name   string
+		mutate func(w *Workload)
+	}{
+		{"benchmark", func(w *Workload) { w.Benchmark = "fp-bench2" }},
+		{"batch-size", func(w *Workload) { w.BatchSize = 17 }},
+		{"transfer-bytes", func(w *Workload) { w.TransferBytes++ }},
+		{"phase-count", func(w *Workload) { w.Phases = w.Phases[:1] }},
+		{"phase-name", func(w *Workload) { w.Phases[0].Name = "stream2" }},
+		{"counts-mem", func(w *Workload) { w.Phases[0].Counts[isa.MEM]++ }},
+		{"counts-other-category", func(w *Workload) { w.Phases[1].Counts[isa.ALU]++ }},
+		{"footprint", func(w *Workload) { w.Phases[0].Footprint++ }},
+		{"pattern", func(w *Workload) { w.Phases[0].Pattern = Random }},
+		{"stride-bytes", func(w *Workload) { w.Phases[1].StrideBytes = 256 }},
+		{"reuse", func(w *Workload) { w.Phases[0].Reuse = 0.26 }},
+		{"parallelism", func(w *Workload) { w.Phases[0].Parallelism++ }},
+		{"vector-width", func(w *Workload) { w.Phases[0].VectorWidth = 8 }},
+		{"batch-invariant", func(w *Workload) { w.Phases[1].BatchInvariant = false }},
+		{"launches", func(w *Workload) { w.Phases[0].Launches = 3 }},
+		{"second-phase-field", func(w *Workload) { w.Phases[1].Footprint++ }},
+	}
+	for _, tc := range cases {
+		w := fpWorkload()
+		tc.mutate(w)
+		fp := w.Fingerprint()
+		if fp == base {
+			t.Errorf("%s: perturbation did not change the fingerprint — field is not hashed", tc.name)
+		}
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s: fingerprint collides with %s (%x)", tc.name, prev, fp)
+		}
+		seen[fp] = tc.name
+	}
+}
+
+// TestFingerprintStringBoundaries guards the classic concatenation bug:
+// adjacent string fields must be separated so ("ab","c") and ("a","bc")
+// hash differently.
+func TestFingerprintStringBoundaries(t *testing.T) {
+	a := fpWorkload()
+	a.Benchmark = "ab"
+	a.Phases[0].Name = "c"
+	b := fpWorkload()
+	b.Benchmark = "a"
+	b.Phases[0].Name = "bc"
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("string field boundaries are not separated in the fingerprint")
+	}
+	// Directly adjacent in the hashed byte stream: equal-length names whose
+	// concatenation with the next field's bytes could alias without a
+	// terminator. The hasher writes a NUL after every string to prevent it.
+	c := fpWorkload()
+	c.Phases[0].Name = "xy"
+	d := fpWorkload()
+	d.Phases[0].Name = "x"
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Fatal("phase names of different lengths collide")
+	}
+}

@@ -16,6 +16,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"mapc/internal/isa"
@@ -177,6 +178,89 @@ func (w *Workload) Clone() *Workload {
 	out := *w
 	out.Phases = append([]Phase(nil), w.Phases...)
 	return &out
+}
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters; the hash is
+// written out by hand so Fingerprint is allocation-free on hot paths.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
+
+// fnvHash is a zero-allocation incremental FNV-1a 64-bit hasher.
+type fnvHash uint64
+
+func (h *fnvHash) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x ^= uint64(s[i])
+		x *= fnv64Prime
+	}
+	// NUL separator so adjacent strings cannot alias ("ab","c" vs "a","bc").
+	x ^= 0
+	x *= fnv64Prime
+	*h = fnvHash(x)
+}
+
+func (h *fnvHash) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x ^= v & 0xff
+		x *= fnv64Prime
+		v >>= 8
+	}
+	*h = fnvHash(x)
+}
+
+func (h *fnvHash) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *fnvHash) f64(v float64) { h.u64(math.Float64bits(v)) }
+
+func (h *fnvHash) bool(v bool) {
+	if v {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+// Fingerprint returns a 64-bit FNV-1a digest over every field of the
+// workload: benchmark identity, batch size, transfer volume, and the full
+// content of each phase (name, per-category instruction counts, footprint,
+// pattern, stride, reuse, parallelism, vector width, batch invariance,
+// launches) in phase order.
+//
+// Two call sites rely on it:
+//
+//   - the simulators' memo layer (internal/simcache) keys cached pure
+//     prefixes by it, so any change to any field — including ones a given
+//     prefix does not read — forces a recompute rather than a stale hit;
+//   - the read-only-contract tests deep-hash workloads before and after
+//     simulator runs to prove the simulators never mutate their inputs.
+//
+// The hash is deterministic across processes and allocation-free.
+func (w *Workload) Fingerprint() uint64 {
+	h := fnvHash(fnv64Offset)
+	h.str(w.Benchmark)
+	h.i64(int64(w.BatchSize))
+	h.i64(w.TransferBytes)
+	h.i64(int64(len(w.Phases)))
+	for i := range w.Phases {
+		p := &w.Phases[i]
+		h.str(p.Name)
+		for _, c := range p.Counts {
+			h.u64(c)
+		}
+		h.i64(p.Footprint)
+		h.i64(int64(p.Pattern))
+		h.i64(p.StrideBytes)
+		h.f64(p.Reuse)
+		h.i64(int64(p.Parallelism))
+		h.i64(int64(p.VectorWidth))
+		h.bool(p.BatchInvariant)
+		h.i64(int64(p.Launches))
+	}
+	return uint64(h)
 }
 
 // String summarises the workload for logs.

@@ -1,14 +1,14 @@
 // Command benchjson records Go benchmark results as JSON and gates CI on
 // regressions against a committed baseline.
 //
-// Record mode runs the memsim microbenchmarks and the corpus-generation
-// benchmark (or parses saved `go test -bench` output) and appends one
-// labelled entry to the baseline file:
+// Record mode runs the memsim and simcache microbenchmarks and the
+// corpus-generation benchmark (or parses saved `go test -bench` output) and
+// appends one labelled entry to the baseline file:
 //
 //	go run ./scripts/benchjson -label after -out BENCH_baseline.json
 //	go run ./scripts/benchjson -label before -input old_bench.txt -out BENCH_baseline.json
 //
-// Check mode re-runs only the fast memsim microbenchmarks and fails (exit 1)
+// Check mode re-runs only the fast microbenchmarks and fails (exit 1)
 // if any ns/op exceeds factor x the newest baseline entry. The corpus
 // points/sec figure is machine-dependent context and is never gated:
 //
@@ -48,7 +48,7 @@ func main() {
 	label := flag.String("label", "", "record mode: append an entry with this label to -out")
 	out := flag.String("out", "BENCH_baseline.json", "record mode: baseline file to create or append to")
 	input := flag.String("input", "", "record mode: comma-separated saved `go test -bench` output files to parse instead of running benchmarks")
-	check := flag.String("check", "", "check mode: baseline file to gate against (re-runs memsim microbenchmarks)")
+	check := flag.String("check", "", "check mode: baseline file to gate against (re-runs memsim+simcache microbenchmarks)")
 	factor := flag.Float64("factor", 2.0, "check mode: fail when fresh ns/op > factor x baseline")
 	benchtime := flag.String("benchtime", "", "passed to `go test -benchtime` (empty = go default)")
 	corpus := flag.Bool("corpus", true, "record mode: also run the slow corpus-generation benchmark")
@@ -69,6 +69,15 @@ func main() {
 	}
 }
 
+// microbenchRuns lists the fast, gated microbenchmark suites: the memsim
+// hot paths (TLB/cache/stream) and the simcache memo paths (hit,
+// move-to-front, miss+evict churn). Both record and check mode run exactly
+// this set so baseline entries and fresh runs always cover the same names.
+var microbenchRuns = []struct{ pkg, pattern string }{
+	{"./internal/memsim", "BenchmarkTLBAccess|BenchmarkCacheAccess|BenchmarkStreamNext"},
+	{"./internal/simcache", "BenchmarkSimCache"},
+}
+
 func runRecord(label, out, input, benchtime string, corpus bool) error {
 	var outputs []string
 	if input != "" {
@@ -80,11 +89,13 @@ func runRecord(label, out, input, benchtime string, corpus bool) error {
 			outputs = append(outputs, string(b))
 		}
 	} else {
-		micro, err := goBench("./internal/memsim", "BenchmarkTLBAccess|BenchmarkCacheAccess|BenchmarkStreamNext", benchtime)
-		if err != nil {
-			return err
+		for _, mb := range microbenchRuns {
+			micro, err := goBench(mb.pkg, mb.pattern, benchtime)
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, micro)
 		}
-		outputs = append(outputs, micro)
 		if corpus {
 			c, err := goBench("./internal/dataset", "BenchmarkGenerateCorpus", benchtime)
 			if err != nil {
@@ -168,11 +179,16 @@ func runCheck(path string, factor float64, benchtime string) error {
 		return fmt.Errorf("newest entry %q has no microbenches to gate on", ref.Label)
 	}
 
-	out, err := goBench("./internal/memsim", "BenchmarkTLBAccess|BenchmarkCacheAccess|BenchmarkStreamNext", benchtime)
-	if err != nil {
-		return err
+	fresh := map[string]float64{}
+	for _, mb := range microbenchRuns {
+		out, err := goBench(mb.pkg, mb.pattern, benchtime)
+		if err != nil {
+			return err
+		}
+		for name, ns := range parseBench(out).nsPerOp {
+			fresh[name] = ns
+		}
 	}
-	fresh := parseBench(out).nsPerOp
 
 	names := make([]string, 0, len(ref.MicrobenchNsPerOp))
 	for name := range ref.MicrobenchNsPerOp {
