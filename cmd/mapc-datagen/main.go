@@ -30,6 +30,7 @@ import (
 	"syscall"
 
 	"mapc/internal/dataset"
+	"mapc/internal/features"
 	"mapc/internal/profiling"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); output is identical for every value")
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
+	k := flag.Int("k", 2, "bag size: applications co-scheduled per data point (2 = the paper's pair corpus, up to 8)")
 	checkpoint := flag.String("checkpoint", "", "journal file for crash-safe generation: completed points are committed here and survive kills")
 	resume := flag.Bool("resume", false, "continue from an existing -checkpoint journal, re-measuring only missing bags")
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset (empty = full Table-II suite)")
@@ -62,6 +64,7 @@ func main() {
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
+	cfg.K = *k
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}
@@ -174,8 +177,20 @@ func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path strin
 }
 
 func writeCSV(w io.Writer, corpus *dataset.Corpus) error {
+	// The member-column count follows the corpus's bag size (recovered
+	// from the feature width); at k=2 the header and rows are byte-for-byte
+	// the legacy pair CSV.
+	k, err := features.BagSizeForWidth(len(corpus.FeatureNames))
+	if err != nil {
+		return err
+	}
 	cw := csv.NewWriter(w)
-	header := []string{"bench_a", "batch_a", "bench_b", "batch_b", "homogeneous"}
+	var header []string
+	for i := 0; i < k; i++ {
+		sfx := string(rune('a' + i))
+		header = append(header, "bench_"+sfx, "batch_"+sfx)
+	}
+	header = append(header, "homogeneous")
 	header = append(header, corpus.FeatureNames...)
 	header = append(header, "gpu_bag_time_sec")
 	if err := cw.Write(header); err != nil {
@@ -183,11 +198,11 @@ func writeCSV(w io.Writer, corpus *dataset.Corpus) error {
 	}
 	for i := range corpus.Points {
 		p := &corpus.Points[i]
-		row := []string{
-			p.Members[0].Benchmark, strconv.Itoa(p.Members[0].Batch),
-			p.Members[1].Benchmark, strconv.Itoa(p.Members[1].Batch),
-			strconv.FormatBool(p.Homogeneous),
+		var row []string
+		for _, m := range p.Members {
+			row = append(row, m.Benchmark, strconv.Itoa(m.Batch))
 		}
+		row = append(row, strconv.FormatBool(p.Homogeneous))
 		for _, v := range p.X {
 			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
 		}

@@ -1,5 +1,5 @@
 // Command mapc-predict trains (or loads) the decision-tree predictor and
-// predicts the GPU execution time of one 2-application bag, comparing the
+// predicts the GPU execution time of one application bag, comparing the
 // prediction with the simulated ground truth.
 //
 // A loaded model must have been trained with the scheme named by -scheme
@@ -10,6 +10,7 @@
 //
 //	mapc-predict -a sift -b surf              # batch 20 each
 //	mapc-predict -a knn -abatch 80 -b svm -bbatch 40
+//	mapc-predict -bag sift/20,surf/40,knn/80  # a 3-application bag
 //	mapc-predict -model model.json            # model from mapc-train -o
 package main
 
@@ -17,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"mapc/internal/core"
 	"mapc/internal/dataset"
@@ -28,6 +31,7 @@ func main() {
 	benchB := flag.String("b", "surf", "second benchmark")
 	batchA := flag.Int("abatch", 20, "first benchmark's batch size")
 	batchB := flag.Int("bbatch", 20, "second benchmark's batch size")
+	bagSpec := flag.String("bag", "", `k-application bag as "bench/batch,bench/batch,..." (2-8 members; overrides -a/-b; batch defaults to 20)`)
 	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
@@ -39,9 +43,24 @@ func main() {
 		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
 	}
 
+	bag := []dataset.Member{
+		{Benchmark: *benchA, Batch: *batchA},
+		{Benchmark: *benchB, Batch: *batchB},
+	}
+	if *bagSpec != "" {
+		var err error
+		bag, err = parseBag(*bagSpec)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -bag: %w", err))
+		}
+	}
+
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
+	// Training (when no model is loaded) must produce vectors of the same
+	// width the query bag needs, so the corpus bag size follows the query.
+	cfg.K = len(bag)
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
@@ -69,9 +88,7 @@ func main() {
 		}
 	}
 
-	a := dataset.Member{Benchmark: *benchA, Batch: *batchA}
-	b := dataset.Member{Benchmark: *benchB, Batch: *batchB}
-	x, fairness, err := gen.FeaturesFor(a, b)
+	x, fairness, err := gen.BagFeatures(bag)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,12 +97,12 @@ func main() {
 		fatal(err)
 	}
 
-	truth, err := gen.MeasurePoint(a, b)
+	truth, err := gen.MeasureBag(bag)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("bag: %v + %v (fairness %.3f)\n", a, b, fairness)
+	fmt.Printf("bag: %s (fairness %.3f)\n", bagLabel(bag), fairness)
 	fmt.Printf("predicted GPU bag time: %8.3f ms\n", pred*1e3)
 	fmt.Printf("simulated GPU bag time: %8.3f ms\n", truth.Y*1e3)
 	if rel, ok := ml.PointRelativeError(truth.Y, pred); ok {
@@ -93,6 +110,36 @@ func main() {
 	} else {
 		fmt.Printf("relative error:              n/a (zero ground truth)\n")
 	}
+}
+
+// parseBag parses "bench/batch,bench/batch,...". A member without "/batch"
+// defaults to batch 20 (the suite's smallest size).
+func parseBag(spec string) ([]dataset.Member, error) {
+	var bag []dataset.Member
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, fmt.Errorf("empty member in %q", spec)
+		}
+		m := dataset.Member{Benchmark: item, Batch: 20}
+		if bench, batch, ok := strings.Cut(item, "/"); ok {
+			v, err := strconv.Atoi(strings.TrimSpace(batch))
+			if err != nil {
+				return nil, fmt.Errorf("member %q: bad batch: %w", item, err)
+			}
+			m = dataset.Member{Benchmark: strings.TrimSpace(bench), Batch: v}
+		}
+		bag = append(bag, m)
+	}
+	return bag, nil
+}
+
+func bagLabel(bag []dataset.Member) string {
+	parts := make([]string, len(bag))
+	for i, m := range bag {
+		parts[i] = fmt.Sprintf("%v", m)
+	}
+	return strings.Join(parts, " + ")
 }
 
 func fatal(err error) {

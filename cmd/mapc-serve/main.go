@@ -6,14 +6,19 @@
 // Endpoints:
 //
 //	POST /v1/predict  {"a":{"benchmark":"sift","batch":20},"b":{"benchmark":"surf","batch":20}}
-//	                  or {"bags":[{"a":…,"b":…},…]}
+//	                  or {"bag":[{"benchmark":…,"batch":…},…]}          (k-app bag)
+//	                  or {"bags":[{"a":…,"b":…},{"members":[…]},…]}     (batched, mixed forms)
 //	GET  /healthz
 //	GET  /metrics
+//
+// Every bag in a request must carry exactly as many applications as the
+// loaded model was trained for (-k at train time); other sizes get a 400.
 //
 // Usage:
 //
 //	mapc-serve                              # train full-scheme model, :8080
 //	mapc-serve -model model.json            # warm-load; scheme must match -scheme
+//	mapc-serve -k 4                         # train and serve 4-app bags
 //	mapc-serve -benchmarks sift,surf -batches 20,40   # fast-start subset
 package main
 
@@ -39,6 +44,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training at startup")
 	schemeName := flag.String("scheme", "full", "feature scheme: insmix, insmix+cputime, insmix+cputime+fairness, full; a loaded model must match")
+	k := flag.Int("k", 2, "bag size for startup training and served predictions (ignored when -model is set: the model pins its own bag size)")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial)")
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "concurrent /v1/predict requests admitted before shedding with 503")
@@ -69,6 +75,7 @@ func main() {
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
+	cfg.K = *k
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}

@@ -26,6 +26,7 @@ func main() {
 	protoName := flag.String("protocol", "own", "LOOCV protocol: own (hold out the benchmark's homogeneous points) or containing (hold out every bag containing it)")
 	maxDepth := flag.Int("max-depth", 0, "tree depth bound (0 = unbounded)")
 	outModel := flag.String("o", "", "save the full-corpus model to this JSON file")
+	k := flag.Int("k", 2, "bag size: applications co-scheduled per corpus point (2 = the paper's 91-run pair corpus, up to 8)")
 	workers := flag.Int("workers", 0, "measurement/fold worker goroutines (0 = NumCPU, 1 = serial); results are identical for every value")
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	flag.Parse()
@@ -46,11 +47,13 @@ func main() {
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
+	cfg.K = *k
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "mapc-train: generating 91-run corpus (%d workers)...\n", cfg.EffectiveWorkers())
+	fmt.Fprintf(os.Stderr, "mapc-train: generating %d-app-bag corpus (%d workers)...\n",
+		cfg.EffectiveK(), cfg.EffectiveWorkers())
 	corpus, err := gen.Generate()
 	if err != nil {
 		fatal(err)

@@ -55,23 +55,27 @@ type Member struct {
 
 func (m Member) String() string { return fmt.Sprintf("%s/%d", m.Benchmark, m.Batch) }
 
-// Point is one data point: a 2-application bag with its feature vector and
-// measured GPU bag execution time.
+// Point is one data point: a k-application bag with its feature vector and
+// measured GPU bag execution time. The paper's corpus uses k=2; the
+// generator accepts any k in [2, features.MaxApps]. Slices marshal to the
+// same JSON arrays the former fixed-size pair fields produced, so v1
+// journals written by the pair pipeline load unchanged.
 type Point struct {
-	// Members lists the bag's applications.
-	Members [2]Member
-	// Homogeneous records whether both members are identical.
+	// Members lists the bag's applications in canonical (measured) order.
+	Members []Member
+	// Homogeneous records whether every member is identical.
 	Homogeneous bool
-	// X is the Table-IV feature vector (see features.Names(2)).
+	// X is the Table-IV feature vector (see features.Names(len(Members))).
 	X []float64
 	// Y is the target: the bag's GPU execution time (makespan) under MPS,
 	// in seconds.
 	Y float64
 	// Fairness is the bag's CPU fairness metric (also inside X).
 	Fairness float64
-	// CPUTimes and GPUTimes are the members' isolated execution times.
-	CPUTimes [2]float64
-	GPUTimes [2]float64
+	// CPUTimes and GPUTimes are the members' isolated execution times,
+	// indexed like Members.
+	CPUTimes []float64
+	GPUTimes []float64
 }
 
 // Corpus is the complete generated dataset.
@@ -94,6 +98,12 @@ type Config struct {
 	// HeteroBatches lists extra mixed-batch heterogeneous combinations;
 	// see DefaultConfig for the shipped set.
 	MixedPairs int
+	// K is the bag size: how many applications are co-scheduled per data
+	// point. 0 (the zero value) means 2 — the paper's pair corpus, and
+	// bit-identical to the legacy pair pipeline (the golden-hash tests pin
+	// this). Values outside [2, features.MaxApps] are rejected by
+	// NewGenerator.
+	K int
 	// CanonicalOrder, when true, sorts bag members heavier-first (by
 	// isolated CPU time) before building the replicated feature vector.
 	// The paper replicates in arbitrary order; canonical ordering is an
@@ -125,6 +135,15 @@ type Config struct {
 // EffectiveWorkers resolves the configured worker count: values <= 0 mean
 // runtime.NumCPU().
 func (c Config) EffectiveWorkers() int { return parallel.Resolve(c.Workers) }
+
+// EffectiveK resolves the configured bag size: 0 means the paper's
+// 2-application bags.
+func (c Config) EffectiveK() int {
+	if c.K == 0 {
+		return 2
+	}
+	return c.K
+}
 
 // BenchmarkNames returns the effective benchmark list: Config.Benchmarks if
 // set, otherwise the full Table-II suite, always as a fresh slice.
@@ -210,6 +229,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	if cfg.SimCacheMB < 0 {
 		return nil, fmt.Errorf("dataset: negative simulation cache budget %d MB (0 disables the memo)", cfg.SimCacheMB)
+	}
+	if cfg.K != 0 && (cfg.K < 2 || cfg.K > features.MaxApps) {
+		return nil, fmt.Errorf("dataset: bag size %d outside [2, %d] (0 means 2)", cfg.K, features.MaxApps)
 	}
 	seen := make(map[string]int, len(cfg.Benchmarks))
 	for i, n := range cfg.Benchmarks {
@@ -308,200 +330,316 @@ func (g *Generator) IsolatedTimes(m Member) (cpuSec, gpuSec float64, err error) 
 	return mm.cpu.TimeSec, mm.gpu.TimeSec, nil
 }
 
-// FeaturesFor measures everything a prediction needs for the bag (a, b) —
-// isolated CPU/GPU runs and the co-scheduled CPU run for fairness — without
-// executing the bag on the GPU. This is the inference-time entry point: the
-// returned vector is raw (un-normalized); apply features.ScaleTimes with
-// the training corpus's divisor before passing it to a trained model.
-func (g *Generator) FeaturesFor(a, b Member) (x []float64, fairness float64, err error) {
-	ma, err := g.measure(a)
-	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: %v: %w", a, err)
+// bagMember pairs one bag member with its memoized isolated measurement,
+// in the bag's canonical order.
+type bagMember struct {
+	member Member
+	mm     *measurement
+}
+
+// measureBag resolves every member's memoized isolated measurement and
+// applies the canonical ordering. With Config.CanonicalOrder the members
+// are sorted heavier-first by isolated CPU time, ties broken by
+// (Benchmark, Batch) — a strict total order, which is what makes bag
+// features permutation-invariant: every ordering of the same multiset of
+// members measures the identical canonical sequence. For 2-member bags
+// this reduces exactly to the legacy pair swap (swap iff the second
+// member's CPU time is strictly larger), pinned by the golden hashes.
+func (g *Generator) measureBag(bag []Member) ([]bagMember, error) {
+	if len(bag) < 2 {
+		return nil, fmt.Errorf("dataset: bag of %d member(s); bags carry at least 2 applications", len(bag))
 	}
-	mb, err := g.measure(b)
-	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: %v: %w", b, err)
+	if len(bag) > features.MaxApps {
+		return nil, fmt.Errorf("dataset: bag of %d members exceeds the supported maximum of %d", len(bag), features.MaxApps)
 	}
-	if g.cfg.CanonicalOrder && mb.cpu.TimeSec > ma.cpu.TimeSec {
-		a, b = b, a
-		ma, mb = mb, ma
+	ms := make([]bagMember, len(bag))
+	for i, m := range bag {
+		mm, err := g.measure(m)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %v: %w", m, err)
+		}
+		ms[i] = bagMember{member: m, mm: mm}
 	}
+	if g.cfg.CanonicalOrder {
+		sort.SliceStable(ms, func(i, j int) bool {
+			a, b := &ms[i], &ms[j]
+			if a.mm.cpu.TimeSec != b.mm.cpu.TimeSec {
+				return a.mm.cpu.TimeSec > b.mm.cpu.TimeSec
+			}
+			if a.member.Benchmark != b.member.Benchmark {
+				return a.member.Benchmark < b.member.Benchmark
+			}
+			return a.member.Batch < b.member.Batch
+		})
+	}
+	return ms, nil
+}
+
+// bagLabel renders the canonical "bench/batch+bench/batch+..." label used
+// in error messages (identical to the legacy "%v+%v" pair form at k=2).
+func bagLabel(ms []bagMember) string {
+	parts := make([]string, len(ms))
+	for i := range ms {
+		parts[i] = ms[i].member.String()
+	}
+	return strings.Join(parts, "+")
+}
+
+// bagFairness runs the co-scheduled CPU simulation over the canonical bag
+// and reduces it to the fairness metric (Equation 2), capped at 1.
+func (g *Generator) bagFairness(ms []bagMember) (float64, error) {
 	// The cached workloads are passed directly: the simulators are
 	// read-only on their inputs (contract documented on cpusim.App and
 	// gpusim.Run, enforced by the mutation-guard tests), so per-point
 	// clones are unnecessary.
-	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, []cpusim.App{
-		{Workload: ma.workload, Threads: g.cfg.Threads},
-		{Workload: mb.workload, Threads: g.cfg.Threads},
-	})
+	apps := make([]cpusim.App, len(ms))
+	for i := range ms {
+		apps[i] = cpusim.App{Workload: ms[i].mm.workload, Threads: g.cfg.Threads}
+	}
+	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, apps)
 	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
+		return 0, fmt.Errorf("dataset: shared CPU run %s: %w", bagLabel(ms), err)
 	}
-	fairness, err = perfmon.Fairness([]perfmon.AppPerf{
-		{IPCAlone: ma.cpu.IPC, IPCShared: cpuShared[0].IPC},
-		{IPCAlone: mb.cpu.IPC, IPCShared: cpuShared[1].IPC},
-	})
+	perf := make([]perfmon.AppPerf, len(ms))
+	for i := range ms {
+		perf[i] = perfmon.AppPerf{IPCAlone: ms[i].mm.cpu.IPC, IPCShared: cpuShared[i].IPC}
+	}
+	fairness, err := perfmon.Fairness(perf)
 	if err != nil {
-		return nil, 0, fmt.Errorf("dataset: fairness %v+%v: %w", a, b, err)
-	}
-	if fairness > 1 {
-		fairness = 1
-	}
-	x, err = features.BagVector([]features.App{
-		{CPUTimeSec: ma.cpu.TimeSec, GPUTimeSec: ma.gpu.TimeSec, Mix: ma.mix},
-		{CPUTimeSec: mb.cpu.TimeSec, GPUTimeSec: mb.gpu.TimeSec, Mix: mb.mix},
-	}, fairness)
-	if err != nil {
-		return nil, 0, err
-	}
-	return x, fairness, nil
-}
-
-// MeasurePoint produces the data point for the bag (a, b): co-scheduled CPU
-// run for fairness, co-scheduled GPU run for the target. With
-// Config.CanonicalOrder, members are sorted heavier-first (by isolated CPU
-// time) so the replicated per-app feature blocks are comparable across data
-// points.
-func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
-	ma, err := g.measure(a)
-	if err != nil {
-		return Point{}, fmt.Errorf("dataset: %v: %w", a, err)
-	}
-	mb, err := g.measure(b)
-	if err != nil {
-		return Point{}, fmt.Errorf("dataset: %v: %w", b, err)
-	}
-	if g.cfg.CanonicalOrder && mb.cpu.TimeSec > ma.cpu.TimeSec {
-		a, b = b, a
-		ma, mb = mb, ma
-	}
-
-	// Shared CPU run → fairness (Equation 2). The cached workloads are
-	// passed directly under the simulators' read-only contract; no clones.
-	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, []cpusim.App{
-		{Workload: ma.workload, Threads: g.cfg.Threads},
-		{Workload: mb.workload, Threads: g.cfg.Threads},
-	})
-	if err != nil {
-		return Point{}, fmt.Errorf("dataset: shared CPU run %v+%v: %w", a, b, err)
-	}
-	fairness, err := perfmon.Fairness([]perfmon.AppPerf{
-		{IPCAlone: ma.cpu.IPC, IPCShared: cpuShared[0].IPC},
-		{IPCAlone: mb.cpu.IPC, IPCShared: cpuShared[1].IPC},
-	})
-	if err != nil {
-		return Point{}, fmt.Errorf("dataset: fairness %v+%v: %w", a, b, err)
+		return 0, fmt.Errorf("dataset: fairness %s: %w", bagLabel(ms), err)
 	}
 	if fairness > 1 {
 		// Small simulation noise can push a slowdown ratio above 1;
 		// fairness is a ratio of min to max and stays in (0,1].
 		fairness = 1
 	}
+	return fairness, nil
+}
 
-	// Shared GPU run → the target bag time.
-	gpuShared, err := gpusim.RunMemo(g.cfg.GPU, g.memo, []*trace.Workload{
-		ma.workload, mb.workload,
-	})
-	if err != nil {
-		return Point{}, fmt.Errorf("dataset: shared GPU run %v+%v: %w", a, b, err)
+// bagApps renders the canonical bag as the featurizer's per-app blocks.
+func bagApps(ms []bagMember) []features.App {
+	apps := make([]features.App, len(ms))
+	for i := range ms {
+		apps[i] = features.App{
+			CPUTimeSec: ms[i].mm.cpu.TimeSec,
+			GPUTimeSec: ms[i].mm.gpu.TimeSec,
+			Mix:        ms[i].mm.mix,
+		}
 	}
+	return apps
+}
 
-	x, err := features.BagVector([]features.App{
-		{CPUTimeSec: ma.cpu.TimeSec, GPUTimeSec: ma.gpu.TimeSec, Mix: ma.mix},
-		{CPUTimeSec: mb.cpu.TimeSec, GPUTimeSec: mb.gpu.TimeSec, Mix: mb.mix},
-	}, fairness)
+// BagFeatures measures everything a prediction needs for a k-member bag —
+// isolated CPU/GPU runs and the co-scheduled CPU run for fairness — without
+// executing the bag on the GPU. This is the inference-time entry point: the
+// returned vector is raw (un-normalized); apply features.ScaleTimes with
+// the training corpus's divisor before passing it to a trained model.
+func (g *Generator) BagFeatures(bag []Member) (x []float64, fairness float64, err error) {
+	ms, err := g.measureBag(bag)
+	if err != nil {
+		return nil, 0, err
+	}
+	fairness, err = g.bagFairness(ms)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err = features.BagVector(bagApps(ms), fairness)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, fairness, nil
+}
+
+// FeaturesFor is BagFeatures for the paper's 2-application bags (the pair
+// entry point mapc-predict and the scheduler use).
+func (g *Generator) FeaturesFor(a, b Member) (x []float64, fairness float64, err error) {
+	return g.BagFeatures([]Member{a, b})
+}
+
+// MeasureBag produces the data point for a k-member bag: co-scheduled CPU
+// run for fairness, co-scheduled GPU run for the target. With
+// Config.CanonicalOrder, members are sorted heavier-first (by isolated CPU
+// time) so the replicated per-app feature blocks are comparable across data
+// points.
+func (g *Generator) MeasureBag(bag []Member) (Point, error) {
+	ms, err := g.measureBag(bag)
 	if err != nil {
 		return Point{}, err
 	}
+
+	// Shared CPU run → fairness (Equation 2).
+	fairness, err := g.bagFairness(ms)
+	if err != nil {
+		return Point{}, err
+	}
+
+	// Shared GPU run → the target bag time.
+	workloads := make([]*trace.Workload, len(ms))
+	for i := range ms {
+		workloads[i] = ms[i].mm.workload
+	}
+	gpuShared, err := gpusim.RunMemo(g.cfg.GPU, g.memo, workloads)
+	if err != nil {
+		return Point{}, fmt.Errorf("dataset: shared GPU run %s: %w", bagLabel(ms), err)
+	}
+
+	x, err := features.BagVector(bagApps(ms), fairness)
+	if err != nil {
+		return Point{}, err
+	}
+	members := make([]Member, len(ms))
+	cpuTimes := make([]float64, len(ms))
+	gpuTimes := make([]float64, len(ms))
+	homogeneous := true
+	for i := range ms {
+		members[i] = ms[i].member
+		cpuTimes[i] = ms[i].mm.cpu.TimeSec
+		gpuTimes[i] = ms[i].mm.gpu.TimeSec
+		if ms[i].member != ms[0].member {
+			homogeneous = false
+		}
+	}
 	return Point{
-		Members:     [2]Member{a, b},
-		Homogeneous: a == b,
+		Members:     members,
+		Homogeneous: homogeneous,
 		X:           x,
 		Y:           gpusim.BagTime(gpuShared),
 		Fairness:    fairness,
-		CPUTimes:    [2]float64{ma.cpu.TimeSec, mb.cpu.TimeSec},
-		GPUTimes:    [2]float64{ma.gpu.TimeSec, mb.gpu.TimeSec},
+		CPUTimes:    cpuTimes,
+		GPUTimes:    gpuTimes,
 	}, nil
 }
 
-// Bags enumerates the corpus's 2-application bags in their canonical
-// order: homogeneous points for every (benchmark, batch), heterogeneous
-// same-batch pairs with the batch cycling through the sweep, then the
-// MixedPairs extra mixed-batch pairs. Enumeration is pure — no simulator
-// runs — and its order is what makes parallel generation reproducible:
-// point i of the corpus is always bag i of this list.
-func (g *Generator) Bags() ([][2]Member, error) {
-	names := g.cfg.BenchmarkNames()
-	var bags [][2]Member
+// MeasurePoint is MeasureBag for the paper's 2-application bags.
+func (g *Generator) MeasurePoint(a, b Member) (Point, error) {
+	return g.MeasureBag([]Member{a, b})
+}
 
-	// Homogeneous: every benchmark x len(BatchSizes).
+// Bags enumerates the corpus's k-application bags in their canonical
+// order: homogeneous points for every (benchmark, batch), heterogeneous
+// same-batch C(n,k) combinations with the batch cycling through the sweep,
+// then the MixedPairs extra mixed-batch bags. Enumeration is pure — no
+// simulator runs — and its order is what makes parallel generation
+// reproducible: point i of the corpus is always bag i of this list. At
+// the default k=2 the plan is exactly the legacy pair enumeration.
+func (g *Generator) Bags() ([][]Member, error) {
+	k := g.cfg.EffectiveK()
+	names := g.cfg.BenchmarkNames()
+	var bags [][]Member
+
+	// Homogeneous: k copies of every (benchmark, batch).
 	for _, n := range names {
 		for _, bs := range g.cfg.BatchSizes {
 			m := Member{Benchmark: n, Batch: bs}
-			bags = append(bags, [2]Member{m, m})
+			bag := make([]Member, k)
+			for i := range bag {
+				bag[i] = m
+			}
+			bags = append(bags, bag)
 		}
 	}
 
-	// Heterogeneous, equal-batch: all C(n,2) pairs, with the batch size
-	// cycling through the sweep so the pairs cover the same input range
-	// as the homogeneous points ("different combinations of batch
-	// sizes", Section V-B).
-	pairNo := 0
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			bs := g.cfg.BatchSizes[pairNo%len(g.cfg.BatchSizes)]
-			pairNo++
-			bags = append(bags, [2]Member{
-				{Benchmark: names[i], Batch: bs},
-				{Benchmark: names[j], Batch: bs},
-			})
+	// Heterogeneous, equal-batch: all C(n,k) combinations in
+	// lexicographic order, with the batch size cycling through the sweep
+	// so the bags cover the same input range as the homogeneous points
+	// ("different combinations of batch sizes", Section V-B). For k=2
+	// this is the legacy i<j double loop.
+	comboNo := 0
+	forEachCombination(len(names), k, func(idx []int) {
+		bs := g.cfg.BatchSizes[comboNo%len(g.cfg.BatchSizes)]
+		comboNo++
+		bag := make([]Member, k)
+		for i, ix := range idx {
+			bag[i] = Member{Benchmark: names[ix], Batch: bs}
 		}
-	}
+		bags = append(bags, bag)
+	})
 
-	mixed, err := mixedBags(names, g.cfg.BatchSizes, g.cfg.MixedPairs)
+	mixed, err := mixedBags(names, g.cfg.BatchSizes, g.cfg.MixedPairs, k)
 	if err != nil {
 		return nil, err
 	}
 	return append(bags, mixed...), nil
 }
 
-// mixedBags enumerates the heterogeneous mixed-batch pairs: a fixed
-// pseudo-pattern walk over (pair, batch) combinations, skipped entirely
-// (like the legacy generator) when fewer than three batch sizes are
-// configured. The walk is bounded: with a degenerate registry (e.g. a
-// single benchmark, where every candidate pair collides) the legacy loop
-// spun forever; now it returns a descriptive error.
-func mixedBags(names []string, batchSizes []int, count int) ([][2]Member, error) {
+// forEachCombination visits every size-k subset of {0..n-1} in
+// lexicographic order. When k > n there are no subsets and fn never runs.
+func forEachCombination(n, k int, fn func(idx []int)) {
+	if k <= 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance: find the rightmost index that can still move up.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// mixedBags enumerates the heterogeneous mixed-batch bags: a fixed
+// pseudo-pattern walk over (benchmark, batch) combinations, skipped
+// entirely (like the legacy generator) when fewer than three batch sizes
+// are configured. The walk is bounded: with a degenerate registry (e.g. a
+// single benchmark, where every candidate bag collapses to one
+// application) the legacy loop spun forever; now it returns a descriptive
+// error at every k. Member m of step t draws benchmark (t*(2m+1)+m) mod n
+// and batch 1+((t+2m) mod (B-1)) — at k=2 exactly the legacy i=t%n,
+// j=(3t+1)%n, ba=1+t%(B-1), bb=1+(t+2)%(B-1) walk.
+func mixedBags(names []string, batchSizes []int, count, k int) ([][]Member, error) {
 	if count <= 0 || len(batchSizes) <= 2 {
 		return nil, nil
 	}
 	if len(names) == 0 {
-		return nil, fmt.Errorf("dataset: no benchmarks to build %d mixed-batch pairs from", count)
+		return nil, fmt.Errorf("dataset: no benchmarks to build %d mixed-batch bags from", count)
 	}
-	// Every full cycle of len(names) steps visits at least one non-colliding
-	// (i, j) pair when len(names) > 1, so count+1 cycles (scaled by the
-	// batch period for slack) always suffice for feasible configurations.
+	// Every full cycle of len(names) steps visits at least one
+	// non-collapsing candidate when len(names) > 1, so count+1 cycles
+	// (scaled by the batch period for slack) always suffice for feasible
+	// configurations.
 	maxSteps := (count + 1) * len(names) * len(batchSizes)
-	var out [][2]Member
+	var out [][]Member
 	added := 0
-	for k := 0; added < count && k < maxSteps; k++ {
-		i := k % len(names)
-		j := (k*3 + 1) % len(names)
-		if i == j {
+	for t := 0; added < count && t < maxSteps; t++ {
+		idx := make([]int, k)
+		allSame := true
+		for m := 0; m < k; m++ {
+			idx[m] = (t*(2*m+1) + m) % len(names)
+			if idx[m] != idx[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			// A mixed bag must stay heterogeneous: skip candidates that
+			// collapse to a single benchmark (for k=2, the legacy i==j).
 			continue
 		}
-		ba := batchSizes[1+(k%(len(batchSizes)-1))]
-		bb := batchSizes[1+((k+2)%(len(batchSizes)-1))]
-		out = append(out, [2]Member{
-			{Benchmark: names[i], Batch: ba},
-			{Benchmark: names[j], Batch: bb},
-		})
+		bag := make([]Member, k)
+		for m := 0; m < k; m++ {
+			bag[m] = Member{
+				Benchmark: names[idx[m]],
+				Batch:     batchSizes[1+((t+2*m)%(len(batchSizes)-1))],
+			}
+		}
+		out = append(out, bag)
 		added++
 	}
 	if added < count {
 		return nil, fmt.Errorf(
-			"dataset: assembled only %d of %d mixed-batch pairs after %d walk steps (%d benchmarks, %d batch sizes): every candidate pair collides",
-			added, count, maxSteps, len(names), len(batchSizes))
+			"dataset: assembled only %d of %d mixed-batch bags after %d walk steps (%d benchmarks, %d batch sizes, k=%d): every candidate bag collides",
+			added, count, maxSteps, len(names), len(batchSizes), k)
 	}
 	return out, nil
 }
@@ -539,7 +677,7 @@ func (g *Generator) generate(ctx context.Context, j *Journal) (*Corpus, error) {
 	have := make([]bool, len(bags))
 	if j != nil {
 		for i, bag := range bags {
-			if p, ok := j.Lookup(BagKey(bag[0], bag[1])); ok {
+			if p, ok := j.Lookup(BagKeyOf(bag)); ok {
 				points[i] = p
 				have[i] = true
 			}
@@ -555,7 +693,7 @@ func (g *Generator) generate(ctx context.Context, j *Journal) (*Corpus, error) {
 		if err := faultinject.Fire(g.fault, FaultSitePoint, i); err != nil {
 			return err
 		}
-		p, err := g.MeasurePoint(bags[i][0], bags[i][1])
+		p, err := g.MeasureBag(bags[i])
 		if err != nil {
 			return err
 		}
@@ -564,7 +702,7 @@ func (g *Generator) generate(ctx context.Context, j *Journal) (*Corpus, error) {
 			// Durable before visible: the point is fsynced into the
 			// journal before the run proceeds, so a crash after this line
 			// never re-measures bag i.
-			if err := j.Append(BagKey(bags[i][0], bags[i][1]), p); err != nil {
+			if err := j.Append(BagKeyOf(bags[i]), p); err != nil {
 				return err
 			}
 		}
@@ -574,7 +712,7 @@ func (g *Generator) generate(ctx context.Context, j *Journal) (*Corpus, error) {
 		return nil, err
 	}
 
-	fnames, err := features.Names(2)
+	fnames, err := features.Names(g.cfg.EffectiveK())
 	if err != nil {
 		return nil, err
 	}
@@ -616,16 +754,21 @@ func (c *Corpus) Dataset() *ml.Dataset { return c.rawDataset() }
 
 // ContainsBenchmark reports whether point i includes the named benchmark.
 func (c *Corpus) ContainsBenchmark(i int, benchmark string) bool {
-	p := &c.Points[i]
-	return p.Members[0].Benchmark == benchmark || p.Members[1].Benchmark == benchmark
+	for _, m := range c.Points[i].Members {
+		if m.Benchmark == benchmark {
+			return true
+		}
+	}
+	return false
 }
 
 // BenchmarkNames returns the distinct benchmarks present, sorted.
 func (c *Corpus) BenchmarkNames() []string {
 	seen := map[string]bool{}
 	for i := range c.Points {
-		seen[c.Points[i].Members[0].Benchmark] = true
-		seen[c.Points[i].Members[1].Benchmark] = true
+		for _, m := range c.Points[i].Members {
+			seen[m.Benchmark] = true
+		}
 	}
 	out := make([]string, 0, len(seen))
 	for n := range seen {

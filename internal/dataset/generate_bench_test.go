@@ -23,30 +23,50 @@ func BenchmarkGenerateCorpus(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			cfg := DefaultConfig()
 			cfg.Workers = workers
-			var points int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				// A real mapc-datagen invocation starts with a clean heap;
-				// drop the previous iteration's dead generator (including its
-				// simulation memo, hundreds of MiB) outside the timed window
-				// so its collection is not charged to this iteration.
-				b.StopTimer()
-				runtime.GC()
-				b.StartTimer()
-				gen, err := NewGenerator(cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				c, err := gen.Generate()
-				if err != nil {
-					b.Fatal(err)
-				}
-				points += len(c.Points)
-			}
-			b.StopTimer()
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(points)/sec, "points/sec")
-			}
+			benchGenerate(b, cfg)
 		})
+	}
+}
+
+// BenchmarkGenerateCorpusKSweep measures how generation throughput scales
+// with the bag size on the reduced 3-benchmark registry (the full Table-II
+// suite at k=4 enumerates C(9,4) combinations — too slow for -benchtime 1x
+// CI smoke runs). Larger k means fewer but costlier bags: each shared
+// simulation co-schedules k workloads.
+func BenchmarkGenerateCorpusKSweep(b *testing.B) {
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := smallConfig()
+			cfg.Workers = runtime.NumCPU()
+			cfg.K = k
+			benchGenerate(b, cfg)
+		})
+	}
+}
+
+func benchGenerate(b *testing.B, cfg Config) {
+	var points int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A real mapc-datagen invocation starts with a clean heap;
+		// drop the previous iteration's dead generator (including its
+		// simulation memo, hundreds of MiB) outside the timed window
+		// so its collection is not charged to this iteration.
+		b.StopTimer()
+		runtime.GC()
+		b.StartTimer()
+		gen, err := NewGenerator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := gen.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		points += len(c.Points)
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(points)/sec, "points/sec")
 	}
 }

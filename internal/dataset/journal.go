@@ -52,11 +52,23 @@ const (
 	FaultSiteJournalAppend = "dataset.journal.append"
 )
 
-// BagKey is the canonical journal key for the bag (a, b) as enumerated by
-// Bags(): member order is the enumeration order, so the same corpus
-// position always maps to the same key across runs and worker counts.
+// BagKey is the canonical journal key for the 2-application bag (a, b) as
+// enumerated by Bags(): member order is the enumeration order, so the same
+// corpus position always maps to the same key across runs and worker
+// counts.
 func BagKey(a, b Member) string {
-	return fmt.Sprintf("%s/%d+%s/%d", a.Benchmark, a.Batch, b.Benchmark, b.Batch)
+	return BagKeyOf([]Member{a, b})
+}
+
+// BagKeyOf is BagKey for k-member bags: members joined by "+" in
+// enumeration order. For k=2 it produces exactly the legacy pair key, so
+// v1 journals written by the pair pipeline resume unchanged.
+func BagKeyOf(bag []Member) string {
+	parts := make([]string, len(bag))
+	for i, m := range bag {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, "+")
 }
 
 // Fingerprint is a stable digest of every Config field that influences
@@ -71,6 +83,11 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(&sb, "cpu=%+v;gpu=%+v;batches=%v;threads=%d;seed=%d;mixed=%d;canonical=%t;benchmarks=%s",
 		c.CPU, c.GPU, c.BatchSizes, c.Threads, c.Seed, c.MixedPairs, c.CanonicalOrder,
 		strings.Join(c.BenchmarkNames(), ","))
+	if c.EffectiveK() > 2 {
+		// Appended only beyond the paper's pair corpus so every journal
+		// written by the k=2 pipeline keeps its original fingerprint.
+		fmt.Fprintf(&sb, ";k=%d", c.EffectiveK())
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

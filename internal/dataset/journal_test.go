@@ -14,15 +14,15 @@ import (
 // (no simulation required).
 func syntheticPoint(i int) Point {
 	return Point{
-		Members: [2]Member{
+		Members: []Member{
 			{Benchmark: "sift", Batch: 20 * (i + 1)},
 			{Benchmark: "surf", Batch: 20 * (i + 1)},
 		},
 		X:        []float64{float64(i), 1.5 * float64(i), 0.125},
 		Y:        0.001 * float64(i+1),
 		Fairness: 0.5,
-		CPUTimes: [2]float64{1, 2},
-		GPUTimes: [2]float64{3, 4},
+		CPUTimes: []float64{1, 2},
+		GPUTimes: []float64{3, 4},
 	}
 }
 
@@ -75,7 +75,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("key %s missing after reopen", key)
 		}
-		if got.Y != want.Y || got.Members != want.Members || len(got.X) != len(want.X) {
+		if got.Y != want.Y || BagKeyOf(got.Members) != BagKeyOf(want.Members) || len(got.X) != len(want.X) {
 			t.Fatalf("key %s: %+v != %+v", key, got, want)
 		}
 		for i := range want.X {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -60,7 +61,7 @@ func TestGenerateGoldenAcrossWorkerCounts(t *testing.T) {
 		}
 		for i := range golden.Points {
 			gp, pp := &golden.Points[i], &c.Points[i]
-			if gp.Members != pp.Members {
+			if !reflect.DeepEqual(gp.Members, pp.Members) {
 				t.Fatalf("workers=%d point %d: members %v vs serial %v (ordering broken)",
 					w, i, pp.Members, gp.Members)
 			}
@@ -71,7 +72,7 @@ func TestGenerateGoldenAcrossWorkerCounts(t *testing.T) {
 				t.Fatalf("workers=%d point %d: Y/Fairness %v/%v vs serial %v/%v",
 					w, i, pp.Y, pp.Fairness, gp.Y, gp.Fairness)
 			}
-			if gp.CPUTimes != pp.CPUTimes || gp.GPUTimes != pp.GPUTimes {
+			if !reflect.DeepEqual(gp.CPUTimes, pp.CPUTimes) || !reflect.DeepEqual(gp.GPUTimes, pp.GPUTimes) {
 				t.Fatalf("workers=%d point %d: isolated times differ", w, i)
 			}
 			if gp.Homogeneous != pp.Homogeneous {
@@ -119,10 +120,20 @@ func TestBagsOrderIsCanonical(t *testing.T) {
 		t.Fatalf("bags %d, want %d", len(bags), want)
 	}
 	c := generateWithWorkers(t, cfg, 2)
+	sortedKey := func(ms []Member) string {
+		s := append([]Member(nil), ms...)
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Benchmark != s[j].Benchmark {
+				return s[i].Benchmark < s[j].Benchmark
+			}
+			return s[i].Batch < s[j].Batch
+		})
+		return BagKeyOf(s)
+	}
 	for i, bag := range bags {
 		members := c.Points[i].Members
-		// MeasurePoint may canonically swap members; compare as sets.
-		if members != bag && members != [2]Member{bag[1], bag[0]} {
+		// MeasureBag may canonically reorder members; compare as multisets.
+		if sortedKey(members) != sortedKey(bag) {
 			t.Errorf("point %d members %v, bag %v", i, members, bag)
 		}
 	}
@@ -136,19 +147,19 @@ func TestMixedBagsBoundedWalk(t *testing.T) {
 	batches := []int{20, 40, 80}
 
 	// Single benchmark: every candidate pair collides — legacy infinite loop.
-	if _, err := mixedBags([]string{"fast"}, batches, 2); err == nil {
+	if _, err := mixedBags([]string{"fast"}, batches, 2, 2); err == nil {
 		t.Fatal("single-benchmark mixed walk did not error")
 	} else if !strings.Contains(err.Error(), "mixed-batch") {
 		t.Errorf("undescriptive error: %v", err)
 	}
 
 	// Empty registry.
-	if _, err := mixedBags(nil, batches, 1); err == nil {
+	if _, err := mixedBags(nil, batches, 1, 2); err == nil {
 		t.Fatal("empty-registry mixed walk did not error")
 	}
 
 	// Feasible registries still produce exactly the requested count.
-	out, err := mixedBags([]string{"fast", "hog", "knn"}, batches, 5)
+	out, err := mixedBags([]string{"fast", "hog", "knn"}, batches, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,10 +176,10 @@ func TestMixedBagsBoundedWalk(t *testing.T) {
 	}
 
 	// Legacy skip conditions: too few batch sizes or no requested pairs.
-	if out, err := mixedBags([]string{"fast"}, []int{20, 40}, 3); err != nil || out != nil {
+	if out, err := mixedBags([]string{"fast"}, []int{20, 40}, 3, 2); err != nil || out != nil {
 		t.Errorf("two-batch config should skip mixed pairs, got %v, %v", out, err)
 	}
-	if out, err := mixedBags([]string{"fast", "hog"}, batches, 0); err != nil || out != nil {
+	if out, err := mixedBags([]string{"fast", "hog"}, batches, 0, 2); err != nil || out != nil {
 		t.Errorf("zero count should skip mixed pairs, got %v, %v", out, err)
 	}
 }

@@ -31,7 +31,7 @@ type funcInjector func(site string, index int) error
 func (f funcInjector) At(site string, index int) error { return f(site, index) }
 
 // mustBags returns the canonical bag list for cfg.
-func mustBags(t *testing.T, cfg Config) [][2]Member {
+func mustBags(t *testing.T, cfg Config) [][]Member {
 	t.Helper()
 	gen, err := NewGenerator(cfg)
 	if err != nil {

@@ -30,7 +30,11 @@ const (
 )
 
 // appSuffixes label the per-application blocks of the replicated vector.
-var appSuffixes = []string{"_a", "_b", "_c", "_d"}
+var appSuffixes = []string{"_a", "_b", "_c", "_d", "_e", "_f", "_g", "_h"}
+
+// MaxApps is the largest bag size the replicated-vector scheme supports
+// (one suffix per member).
+var MaxApps = len(appSuffixes)
 
 // Names returns the feature-column names for a bag of nApps applications:
 // the per-app block repeated with _a/_b/... suffixes, then "fairness".
@@ -47,6 +51,23 @@ func Names(nApps int) ([]string, error) {
 		}
 	}
 	return append(out, KindFairness), nil
+}
+
+// BagSizeForWidth inverts Names: given a full-width raw feature vector
+// length (nApps*PerApp + 1 for the trailing fairness column), it returns
+// the bag size the vector was built for. This is how a consumer of a
+// persisted model (mapc-serve) recovers the bag shape the model was
+// trained on without any side-channel metadata.
+func BagSizeForWidth(width int) (int, error) {
+	n := width - 1 // fairness column
+	if n <= 0 || n%PerApp != 0 {
+		return 0, fmt.Errorf("features: width %d is not a replicated bag vector (want nApps*%d+1)", width, PerApp)
+	}
+	nApps := n / PerApp
+	if nApps > MaxApps {
+		return 0, fmt.Errorf("features: width %d implies a %d-app bag, beyond the supported maximum of %d", width, nApps, MaxApps)
+	}
+	return nApps, nil
 }
 
 // Kind strips the application suffix from a feature name, mapping e.g.
@@ -92,13 +113,18 @@ func (a *App) vector() []float64 {
 }
 
 // BagVector builds the full feature vector for a bag: replicated per-app
-// blocks followed by the fairness value.
+// blocks followed by the fairness value. Bags carry at least two members
+// (a single application has no co-runners, hence no fairness to report)
+// and at most MaxApps.
 func BagVector(apps []App, fairness float64) ([]float64, error) {
 	if len(apps) == 0 {
 		return nil, errors.New("features: empty bag")
 	}
+	if len(apps) == 1 {
+		return nil, errors.New("features: single-member bag has no co-runners; bags carry at least 2 applications")
+	}
 	if len(apps) > len(appSuffixes) {
-		return nil, fmt.Errorf("features: unsupported bag size %d", len(apps))
+		return nil, fmt.Errorf("features: unsupported bag size %d (max %d)", len(apps), MaxApps)
 	}
 	if fairness <= 0 || fairness > 1 {
 		return nil, fmt.Errorf("features: fairness %v outside (0,1]", fairness)

@@ -1,0 +1,122 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+// Table-driven coverage of the BagVector error paths introduced by the
+// k-app generalization: each rejected shape must fail with a message a
+// caller can act on (the serve layer surfaces these verbatim in 400s).
+func TestBagVectorErrorTable(t *testing.T) {
+	ok := sampleApp(1, 1)
+	cases := []struct {
+		name     string
+		apps     []App
+		fairness float64
+		wantSub  string
+	}{
+		{"nil bag", nil, 0.5, "empty bag"},
+		{"empty bag", []App{}, 0.5, "empty bag"},
+		{"single member", []App{ok}, 0.5, "at least 2 applications"},
+		{"nine members", make([]App, 9), 0.5, "unsupported bag size 9"},
+		{"zero fairness", []App{ok, ok}, 0, "fairness"},
+		{"negative fairness", []App{ok, ok}, -0.1, "fairness"},
+		{"fairness above one", []App{ok, ok}, 1.0001, "fairness"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x, err := BagVector(tc.apps, tc.fairness)
+			if err == nil {
+				t.Fatalf("BagVector accepted %s (got %d-wide vector)", tc.name, len(x))
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+
+	// Every legal size from the pair up to MaxApps builds, and the width
+	// round-trips through BagSizeForWidth.
+	for k := 2; k <= MaxApps; k++ {
+		apps := make([]App, k)
+		for i := range apps {
+			apps[i] = ok
+		}
+		x, err := BagVector(apps, 0.75)
+		if err != nil {
+			t.Fatalf("k=%d rejected: %v", k, err)
+		}
+		if len(x) != k*PerApp+1 {
+			t.Fatalf("k=%d width %d, want %d", k, len(x), k*PerApp+1)
+		}
+		got, err := BagSizeForWidth(len(x))
+		if err != nil || got != k {
+			t.Errorf("BagSizeForWidth(%d) = %d, %v; want %d", len(x), got, err, k)
+		}
+	}
+}
+
+// BagSizeForWidth must reject every width that is not exactly
+// nApps*PerApp+1 for nApps in 1..MaxApps — a model persisted with a
+// mismatched scheme width must be refused, not misread.
+func TestBagSizeForWidthTable(t *testing.T) {
+	bad := []struct {
+		width   int
+		wantSub string
+	}{
+		{0, "not a replicated bag vector"},
+		{1, "not a replicated bag vector"},            // fairness alone, no apps
+		{PerApp, "not a replicated bag vector"},       // missing fairness column
+		{2*PerApp + 2, "not a replicated bag vector"}, // one column too many
+		{2*PerApp - 1 + 1, "not a replicated bag vector"},
+		{9*PerApp + 1, "beyond the supported maximum"},
+		{-21, "not a replicated bag vector"},
+	}
+	for _, tc := range bad {
+		if n, err := BagSizeForWidth(tc.width); err == nil {
+			t.Errorf("width %d accepted as %d-app bag", tc.width, n)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("width %d: error %q does not mention %q", tc.width, err, tc.wantSub)
+		}
+	}
+	for n := 1; n <= MaxApps; n++ {
+		got, err := BagSizeForWidth(n*PerApp + 1)
+		if err != nil || got != n {
+			t.Errorf("BagSizeForWidth(%d) = %d, %v; want %d", n*PerApp+1, got, err, n)
+		}
+	}
+}
+
+// Names at every k: suffix progression _a.._h, one fairness column, and
+// agreement between Names and the vector BagVector actually emits.
+func TestNamesKSweep(t *testing.T) {
+	for k := 1; k <= MaxApps; k++ {
+		names, err := Names(k)
+		if err != nil {
+			t.Fatalf("Names(%d): %v", k, err)
+		}
+		if len(names) != k*PerApp+1 {
+			t.Fatalf("Names(%d) width %d, want %d", k, len(names), k*PerApp+1)
+		}
+		for a := 0; a < k; a++ {
+			want := "cpu_time" + appSuffixes[a]
+			if names[a*PerApp] != want {
+				t.Errorf("Names(%d) block %d starts %q, want %q", k, a, names[a*PerApp], want)
+			}
+		}
+		if names[len(names)-1] != KindFairness {
+			t.Errorf("Names(%d) last column %q", k, names[len(names)-1])
+		}
+		// Every column maps back to a suffix-free kind.
+		kinds := map[string]bool{}
+		for _, kn := range KindNames() {
+			kinds[kn] = true
+		}
+		for _, n := range names {
+			if !kinds[Kind(n)] {
+				t.Errorf("Names(%d): column %q has unknown kind %q", k, n, Kind(n))
+			}
+		}
+	}
+}

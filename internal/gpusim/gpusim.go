@@ -23,6 +23,7 @@ package gpusim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
 
@@ -208,6 +209,18 @@ func Run(cfg Config, workloads []*trace.Workload) ([]Result, error) {
 // cached values are exactly the bytes the cold path produces, and entries
 // are immutable once published.
 func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]Result, error) {
+	return RunMemoShares(cfg, memo, workloads, nil)
+}
+
+// RunMemoShares is RunMemo with asymmetric SM partition shares: shares[i]
+// is client i's relative weight of the SM pool (an MPS active-thread
+// percentage). Shares are normalized internally, so {1,1} and {50,50} are
+// the same split. A nil shares slice selects the default equal MPS split
+// and is bit-identical to RunMemo — the equal path evaluates the exact
+// legacy SMs/n expression. When a client finishes, the survivors keep
+// their relative weights over the freed partition (renormalized over the
+// active set), mirroring how the equal split re-divides among survivors.
+func RunMemoShares(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -222,10 +235,20 @@ func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]R
 			return nil, fmt.Errorf("gpusim: workload %d: %w", i, err)
 		}
 	}
+	if shares != nil {
+		if len(shares) != len(workloads) {
+			return nil, fmt.Errorf("gpusim: %d partition shares for %d workloads", len(shares), len(workloads))
+		}
+		for i, s := range shares {
+			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("gpusim: partition share %d is %v; shares are positive finite weights", i, s)
+			}
+		}
+	}
 
 	// Steady-state results for the full client set: the per-app rates and
 	// statistics while everyone is resident.
-	steady, err := runSteady(cfg, memo, workloads)
+	steady, err := runSteady(cfg, memo, workloads, shares)
 	if err != nil {
 		return nil, err
 	}
@@ -272,10 +295,17 @@ func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]R
 			break
 		}
 		sub := make([]*trace.Workload, len(active))
+		var subShares []float64
+		if shares != nil {
+			subShares = make([]float64, len(active))
+		}
 		for k, ai := range active {
 			sub[k] = workloads[ai]
+			if shares != nil {
+				subShares[k] = shares[ai]
+			}
 		}
-		cur, err = runSteady(cfg, memo, sub)
+		cur, err = runSteady(cfg, memo, sub, subShares)
 		if err != nil {
 			return nil, err
 		}
@@ -297,20 +327,36 @@ func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]R
 }
 
 // runSteady computes per-app execution times assuming the full client set
-// stays resident for the whole run.
-func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]Result, error) {
+// stays resident for the whole run. A nil shares slice is the equal MPS
+// split (the exact legacy SMs/n computation); otherwise each client gets
+// SMs scaled by its normalized weight.
+func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, error) {
 	mem, l2Stats, tlbStats, err := simulateMemory(cfg, memo, workloads)
 	if err != nil {
 		return nil, err
 	}
 
 	n := len(workloads)
-	smShare := float64(cfg.SMs) / float64(n) // MPS spatial partitioning
+	smShares := make([]float64, n) // MPS spatial partitioning
+	if shares == nil {
+		equal := float64(cfg.SMs) / float64(n)
+		for i := range smShares {
+			smShares[i] = equal
+		}
+	} else {
+		var sum float64
+		for _, s := range shares {
+			sum += s
+		}
+		for i, s := range shares {
+			smShares[i] = float64(cfg.SMs) * (s / sum)
+		}
+	}
 
 	results := make([]Result, n)
 	traffic := make([]float64, n)
 	for i, w := range workloads {
-		cycles, bytes := appCycles(cfg, w, mem[i], smShare, n, 0)
+		cycles, bytes := appCycles(cfg, w, mem[i], smShares[i], n, 0)
 		results[i].Cycles = cycles
 		traffic[i] = bytes
 	}
@@ -329,7 +375,7 @@ func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([
 
 	share := bandwidthShares(cfg, results, traffic)
 	for i, w := range workloads {
-		cycles, bytes := appCycles(cfg, w, mem[i], smShare, n, share[i])
+		cycles, bytes := appCycles(cfg, w, mem[i], smShares[i], n, share[i])
 		if w.TransferBytes > 0 {
 			xfer := cfg.PCIeLatencySec + float64(w.TransferBytes)/pcieShare
 			cycles += xfer * cfg.FreqGHz * 1e9
@@ -341,7 +387,7 @@ func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([
 			DRAMBytes:    bytes,
 			L2MissRate:   l2Stats[i].MissRate(),
 			TLBMissRate:  tlbStats[i].MissRate(),
-			SMShare:      smShare,
+			SMShare:      smShares[i],
 		}
 		if cycles > 0 {
 			results[i].IPC = float64(w.Instructions()) / cycles

@@ -3,6 +3,7 @@ package serve
 import (
 	"fmt"
 	"runtime/debug"
+	"sort"
 	"sync"
 
 	"mapc/internal/dataset"
@@ -36,16 +37,16 @@ func (p *recoveredPanic) Unwrap() error {
 // shared-CPU fairness simulation runs exactly once no matter how many
 // concurrent requests ask for the same bag. The generator underneath
 // additionally memoizes each member's isolated runs, so even a cache miss
-// on a new pairing of known members only pays for the shared run.
+// on a new combination of known members only pays for the shared run.
 type featureCache struct {
-	compute func(a, b dataset.Member) ([]float64, float64, error)
-	// canonical collapses (a,b)/(b,a) into one entry. Only safe when the
-	// generator's CanonicalOrder sorts members itself, making FeaturesFor
-	// symmetric.
+	compute func(bag []dataset.Member) ([]float64, float64, error)
+	// canonical collapses every permutation of a bag's members into one
+	// entry. Only safe when the generator's CanonicalOrder sorts members
+	// itself, making BagFeatures permutation-invariant.
 	canonical bool
 
 	mu      sync.Mutex // guards entries map structure only
-	entries map[[2]dataset.Member]*featureEntry
+	entries map[string]*featureEntry
 }
 
 type featureEntry struct {
@@ -57,18 +58,26 @@ type featureEntry struct {
 
 func newFeatureCache(gen *dataset.Generator) *featureCache {
 	return &featureCache{
-		compute:   gen.FeaturesFor,
+		compute:   gen.BagFeatures,
 		canonical: gen.Config().CanonicalOrder,
-		entries:   map[[2]dataset.Member]*featureEntry{},
+		entries:   map[string]*featureEntry{},
 	}
 }
 
-// key canonicalizes the bag when member order is irrelevant.
-func (c *featureCache) key(a, b dataset.Member) [2]dataset.Member {
-	if c.canonical && (b.Benchmark < a.Benchmark || (b.Benchmark == a.Benchmark && b.Batch < a.Batch)) {
-		a, b = b, a
+// key canonicalizes the bag when member order is irrelevant, returning the
+// cache key and the member sequence to compute with.
+func (c *featureCache) key(bag []dataset.Member) (string, []dataset.Member) {
+	if c.canonical {
+		s := append([]dataset.Member(nil), bag...)
+		sort.Slice(s, func(i, j int) bool {
+			if s[i].Benchmark != s[j].Benchmark {
+				return s[i].Benchmark < s[j].Benchmark
+			}
+			return s[i].Batch < s[j].Batch
+		})
+		bag = s
 	}
-	return [2]dataset.Member{a, b}
+	return dataset.BagKeyOf(bag), bag
 }
 
 // get returns the bag's raw feature vector and fairness, computing them at
@@ -83,8 +92,8 @@ func (c *featureCache) key(a, b dataset.Member) [2]dataset.Member {
 // panic is recovered into a *recoveredPanic error, the entry is evicted,
 // and the next request for the same bag computes fresh — the panicking bag
 // costs exactly one 500.
-func (c *featureCache) get(a, b dataset.Member) (x []float64, fairness float64, hit bool, err error) {
-	k := c.key(a, b)
+func (c *featureCache) get(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error) {
+	k, canon := c.key(bag)
 	c.mu.Lock()
 	e, ok := c.entries[k]
 	if !ok {
@@ -98,7 +107,7 @@ func (c *featureCache) get(a, b dataset.Member) (x []float64, fairness float64, 
 				e.err = &recoveredPanic{Value: r, Stack: debug.Stack()}
 			}
 		}()
-		e.x, e.fairness, e.err = c.compute(k[0], k[1])
+		e.x, e.fairness, e.err = c.compute(canon)
 	})
 	if _, panicked := e.err.(*recoveredPanic); panicked {
 		// Evict so a retry recomputes; every waiter that shared this

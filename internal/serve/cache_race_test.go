@@ -17,11 +17,11 @@ func TestFeatureCacheSingleflightHammer(t *testing.T) {
 	var computes atomic.Int64
 	c := &featureCache{
 		canonical: true,
-		entries:   map[[2]dataset.Member]*featureEntry{},
+		entries:   map[string]*featureEntry{},
 	}
-	c.compute = func(a, b dataset.Member) ([]float64, float64, error) {
+	c.compute = func(bag []dataset.Member) ([]float64, float64, error) {
 		computes.Add(1)
-		return []float64{float64(a.Batch), float64(b.Batch)}, 0.5, nil
+		return []float64{float64(bag[0].Batch), float64(bag[1].Batch)}, 0.5, nil
 	}
 
 	members := []dataset.Member{
@@ -46,7 +46,7 @@ func TestFeatureCacheSingleflightHammer(t *testing.T) {
 			for i := 0; i < iters; i++ {
 				a := members[(g+i)%len(members)]
 				b := members[(g*7+i*3)%len(members)]
-				x, fairness, hit, err := c.get(a, b)
+				x, fairness, hit, err := c.get([]dataset.Member{a, b})
 				if err != nil {
 					t.Error(err)
 					return
@@ -83,7 +83,7 @@ func TestServerConcurrentPredictHammer(t *testing.T) {
 	// Stub features: constant-width vectors, no simulation, so the hammer
 	// is fast; width must match the model (21 features for 2-app bags).
 	width := s.cfg.Model.NumFeatures()
-	s.featuresFn = func(a, b dataset.Member) ([]float64, float64, bool, error) {
+	s.featuresFn = func(bag []dataset.Member) ([]float64, float64, bool, error) {
 		x := make([]float64, width)
 		for i := range x {
 			x[i] = 0.25

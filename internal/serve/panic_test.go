@@ -24,13 +24,13 @@ func TestPredictTaskPanicReturns500AndProcessSurvives(t *testing.T) {
 
 	var panicOnce sync.Once
 	real := s.featuresFn
-	s.featuresFn = func(a, b dataset.Member) ([]float64, float64, bool, error) {
+	s.featuresFn = func(bag []dataset.Member) ([]float64, float64, bool, error) {
 		var fired bool
 		panicOnce.Do(func() { fired = true })
 		if fired {
-			panic(fmt.Sprintf("injected measurement crash for %v+%v", a, b))
+			panic(fmt.Sprintf("injected measurement crash for %s", dataset.BagKeyOf(bag)))
 		}
-		return real(a, b)
+		return real(bag)
 	}
 
 	rr := doJSON(t, h, http.MethodPost, "/v1/predict", predictBody)
@@ -72,17 +72,19 @@ func TestFeatureCachePanicIsNotPoisoned(t *testing.T) {
 	gen, _ := fixture(t)
 	c := newFeatureCache(gen)
 	calls := 0
-	c.compute = func(a, b dataset.Member) ([]float64, float64, error) {
+	c.compute = func(bag []dataset.Member) ([]float64, float64, error) {
 		calls++
 		if calls == 1 {
 			panic("first compute dies")
 		}
 		return []float64{1, 2, 3}, 0.5, nil
 	}
-	a := dataset.Member{Benchmark: "sift", Batch: 20}
-	b := dataset.Member{Benchmark: "surf", Batch: 20}
+	bag := []dataset.Member{
+		{Benchmark: "sift", Batch: 20},
+		{Benchmark: "surf", Batch: 20},
+	}
 
-	_, _, _, err := c.get(a, b)
+	_, _, _, err := c.get(bag)
 	var rp *recoveredPanic
 	if !errors.As(err, &rp) {
 		t.Fatalf("first get returned %v, want *recoveredPanic", err)
@@ -94,7 +96,7 @@ func TestFeatureCachePanicIsNotPoisoned(t *testing.T) {
 		t.Fatalf("panicked entry still cached (Len=%d): cache poisoned", n)
 	}
 
-	x, fairness, hit, err := c.get(a, b)
+	x, fairness, hit, err := c.get(bag)
 	if err != nil {
 		t.Fatalf("retry after panic failed: %v", err)
 	}
@@ -109,7 +111,7 @@ func TestFeatureCachePanicIsNotPoisoned(t *testing.T) {
 	}
 
 	// Third get is a plain hit — the healthy entry stays cached.
-	if _, _, hit, err := c.get(a, b); err != nil || !hit {
+	if _, _, hit, err := c.get(bag); err != nil || !hit {
 		t.Fatalf("third get hit=%v err=%v, want cached success", hit, err)
 	}
 	if calls != 2 {
@@ -127,12 +129,12 @@ func TestFullHandlerCachePanicComputesFreshOnRetry(t *testing.T) {
 
 	realCompute := s.cache.compute
 	calls := 0
-	s.cache.compute = func(a, b dataset.Member) ([]float64, float64, error) {
+	s.cache.compute = func(bag []dataset.Member) ([]float64, float64, error) {
 		calls++
 		if calls == 1 {
 			panic("cache compute crash")
 		}
-		return realCompute(a, b)
+		return realCompute(bag)
 	}
 
 	rr := doJSON(t, h, http.MethodPost, "/v1/predict", predictBody)

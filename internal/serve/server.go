@@ -1,7 +1,10 @@
 // Package serve is the production prediction service over the trained
-// predictor: an HTTP layer that answers "how long will this 2-application
+// predictor: an HTTP layer that answers "how long will this k-application
 // bag take on the GPU?" — the per-job query a multi-tenant scheduler issues
-// (Section V's end product, framed as an online service).
+// (Section V's end product, framed as an online service). The bag size is
+// inferred from the loaded model's feature width (the paper's models are
+// 2-application); requests whose bag size differs from the trained k are
+// rejected with a descriptive 400.
 //
 // The server warm-loads a persisted model (or the caller trains one at
 // startup), validates every request against the benchmark registry and the
@@ -52,8 +55,9 @@ const (
 
 // Config configures a prediction server.
 type Config struct {
-	// Model is the trained predictor; required. Its feature contract must
-	// match the 2-application bag featurizer.
+	// Model is the trained predictor; required. Its feature width must be
+	// a replicated bag vector (nApps*features.PerApp+1); the bag size it
+	// was trained for is inferred from it at startup.
 	Model *core.Predictor
 	// Generator measures fresh bags; required. Its member-level memo is
 	// shared with the feature cache, so one long-lived generator serves
@@ -79,9 +83,12 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	cache   *featureCache
+	// trainedK is the bag size the model was trained for, inferred from
+	// its feature width at startup.
+	trainedK int
 	// featuresFn resolves a bag to its raw feature vector; defaults to the
 	// shared cache and is swappable in tests (e.g. to inject slowness).
-	featuresFn func(a, b dataset.Member) (x []float64, fairness float64, hit bool, err error)
+	featuresFn func(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error)
 	inflight   chan struct{}
 
 	mu      sync.Mutex
@@ -89,8 +96,9 @@ type Server struct {
 }
 
 // New validates the config and returns a ready-to-serve server. The model's
-// feature contract is checked against the 2-application featurizer here so
-// a mismatched model is refused at startup, not at first request.
+// feature contract is checked against the replicated-bag featurizer here so
+// a mismatched model is refused at startup, not at first request; the bag
+// size it was trained for (k) is recovered from its feature width.
 func New(cfg Config) (*Server, error) {
 	if cfg.Model == nil {
 		return nil, errors.New("serve: nil model")
@@ -98,14 +106,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Generator == nil {
 		return nil, errors.New("serve: nil generator")
 	}
-	fnames, err := features.Names(2)
+	trainedK, err := features.BagSizeForWidth(cfg.Model.NumFeatures())
 	if err != nil {
-		return nil, err
-	}
-	if got := cfg.Model.NumFeatures(); got != len(fnames) {
 		return nil, fmt.Errorf(
-			"serve: model (scheme %q) expects %d raw features but the 2-app featurizer produces %d; the model was trained for a different bag shape",
-			cfg.Model.Scheme().Name, got, len(fnames))
+			"serve: model (scheme %q) was trained on an unrecognizable bag shape: %w",
+			cfg.Model.Scheme().Name, err)
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = DefaultMaxInFlight
@@ -120,6 +125,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		metrics:  NewMetrics(),
 		cache:    newFeatureCache(cfg.Generator),
+		trainedK: trainedK,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
 	// /metrics reports the generator's simulation-memo counters alongside
@@ -133,8 +139,8 @@ func New(cfg Config) (*Server, error) {
 
 // cachedFeatures is the default featuresFn: the cross-request singleflight
 // cache with hit/miss accounting.
-func (s *Server) cachedFeatures(a, b dataset.Member) ([]float64, float64, bool, error) {
-	x, fairness, hit, err := s.cache.get(a, b)
+func (s *Server) cachedFeatures(bag []dataset.Member) ([]float64, float64, bool, error) {
+	x, fairness, hit, err := s.cache.get(bag)
 	if err == nil {
 		if hit {
 			s.metrics.CacheHit()
@@ -258,28 +264,48 @@ func (m memberJSON) member() dataset.Member {
 	return dataset.Member{Benchmark: m.Benchmark, Batch: m.Batch}
 }
 
-// bagJSON is one 2-application bag.
+// bagJSON is one bag: either the legacy 2-application {"a":…,"b":…} form
+// or a k-member {"members":[…]} list. Exactly one form per bag.
 type bagJSON struct {
-	A memberJSON `json:"a"`
-	B memberJSON `json:"b"`
+	A       *memberJSON  `json:"a,omitempty"`
+	B       *memberJSON  `json:"b,omitempty"`
+	Members []memberJSON `json:"members,omitempty"`
 }
 
-// predictRequest accepts either a single bag inline ({"a":…,"b":…}) or a
-// batch ({"bags":[…]}); both at once is allowed and the inline bag runs
-// first.
+// memberList flattens the bag to its member sequence.
+func (b bagJSON) memberList() ([]memberJSON, error) {
+	if len(b.Members) > 0 {
+		if b.A != nil || b.B != nil {
+			return nil, errors.New(`mixes "members" with "a"/"b"; use one form per bag`)
+		}
+		return b.Members, nil
+	}
+	if b.A == nil || b.B == nil {
+		return nil, errors.New(`requires both "a" and "b", or a "members" list`)
+	}
+	return []memberJSON{*b.A, *b.B}, nil
+}
+
+// predictRequest accepts a single bag inline — the legacy pair form
+// ({"a":…,"b":…}) or a k-member list ({"bag":[…]}) — or a batch
+// ({"bags":[…]}); combined forms are allowed and inline bags run first.
 type predictRequest struct {
-	A    *memberJSON `json:"a,omitempty"`
-	B    *memberJSON `json:"b,omitempty"`
-	Bags []bagJSON   `json:"bags,omitempty"`
+	A    *memberJSON  `json:"a,omitempty"`
+	B    *memberJSON  `json:"b,omitempty"`
+	Bag  []memberJSON `json:"bag,omitempty"`
+	Bags []bagJSON    `json:"bags,omitempty"`
 }
 
-// bagResult is one bag's answer.
+// bagResult is one bag's answer. Members always lists the bag; the legacy
+// a/b fields are populated for 2-application bags so pair-era clients keep
+// parsing responses unchanged.
 type bagResult struct {
-	A            memberJSON `json:"a"`
-	B            memberJSON `json:"b"`
-	PredictedSec float64    `json:"predicted_gpu_bag_time_sec"`
-	Fairness     float64    `json:"fairness"`
-	Cached       bool       `json:"cached"`
+	A            *memberJSON  `json:"a,omitempty"`
+	B            *memberJSON  `json:"b,omitempty"`
+	Members      []memberJSON `json:"members"`
+	PredictedSec float64      `json:"predicted_gpu_bag_time_sec"`
+	Fairness     float64      `json:"fairness"`
+	Cached       bool         `json:"cached"`
 }
 
 // predictResponse is the /v1/predict success body.
@@ -293,24 +319,39 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-// parseBags validates and flattens the request into a bag list.
-func (s *Server) parseBags(req *predictRequest) ([]bagJSON, error) {
-	var bags []bagJSON
+// parseBags validates and flattens the request into a list of member
+// sequences. Every bag's size must match the model's trained bag size.
+func (s *Server) parseBags(req *predictRequest) ([][]memberJSON, error) {
+	var bags [][]memberJSON
 	switch {
 	case req.A != nil && req.B != nil:
-		bags = append(bags, bagJSON{A: *req.A, B: *req.B})
+		bags = append(bags, []memberJSON{*req.A, *req.B})
 	case req.A != nil || req.B != nil:
 		return nil, errors.New("single-bag form requires both \"a\" and \"b\"")
 	}
-	bags = append(bags, req.Bags...)
+	if len(req.Bag) > 0 {
+		bags = append(bags, req.Bag)
+	}
+	for i, bag := range req.Bags {
+		ms, err := bag.memberList()
+		if err != nil {
+			return nil, fmt.Errorf("bags[%d] %v", i, err)
+		}
+		bags = append(bags, ms)
+	}
 	if len(bags) == 0 {
-		return nil, errors.New("no bags: provide {\"a\":…,\"b\":…} or {\"bags\":[…]}")
+		return nil, errors.New("no bags: provide {\"a\":…,\"b\":…}, {\"bag\":[…]} or {\"bags\":[…]}")
 	}
 	if len(bags) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("batch of %d bags exceeds the limit of %d", len(bags), s.cfg.MaxBatch)
 	}
 	for i, bag := range bags {
-		for _, m := range []memberJSON{bag.A, bag.B} {
+		if len(bag) != s.trainedK {
+			return nil, fmt.Errorf(
+				"bag %d carries %d application(s) but the loaded model was trained for %d-application bags; retrain with -k %d or resize the bag",
+				i, len(bag), s.trainedK, len(bag))
+		}
+		for _, m := range bag {
 			if strings.TrimSpace(m.Benchmark) == "" {
 				return nil, fmt.Errorf("bag %d: empty benchmark name", i)
 			}
@@ -378,19 +419,27 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 			if ctx.Err() != nil {
 				return ctx.Err() // deadline hit: stop claiming new bags
 			}
-			a, b := bags[i].A.member(), bags[i].B.member()
-			x, fairness, hit, err := s.featuresFn(a, b)
+			bag := make([]dataset.Member, len(bags[i]))
+			for j, m := range bags[i] {
+				bag[j] = m.member()
+			}
+			label := dataset.BagKeyOf(bag)
+			x, fairness, hit, err := s.featuresFn(bag)
 			if err != nil {
-				return fmt.Errorf("bag %d (%v+%v): %w", i, a, b, err)
+				return fmt.Errorf("bag %d (%s): %w", i, label, err)
 			}
 			pred, err := s.cfg.Model.PredictRaw(x)
 			if err != nil {
-				return fmt.Errorf("bag %d (%v+%v): %w", i, a, b, err)
+				return fmt.Errorf("bag %d (%s): %w", i, label, err)
 			}
-			results[i] = bagResult{
-				A: bags[i].A, B: bags[i].B,
+			res := bagResult{
+				Members:      bags[i],
 				PredictedSec: pred, Fairness: fairness, Cached: hit,
 			}
+			if len(bags[i]) == 2 {
+				res.A, res.B = &bags[i][0], &bags[i][1]
+			}
+			results[i] = res
 			return nil
 		})
 	}()

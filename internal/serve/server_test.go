@@ -205,7 +205,7 @@ func TestPredictParityAndCache(t *testing.T) {
 
 func TestPredictTimeout(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.RequestTimeout = 30 * time.Millisecond })
-	s.featuresFn = func(a, b dataset.Member) ([]float64, float64, bool, error) {
+	s.featuresFn = func(bag []dataset.Member) ([]float64, float64, bool, error) {
 		time.Sleep(500 * time.Millisecond)
 		return nil, 0, false, context.DeadlineExceeded
 	}
@@ -222,7 +222,7 @@ func TestPredictTimeout(t *testing.T) {
 func TestPredictSaturation(t *testing.T) {
 	s := newTestServer(t, func(c *Config) { c.MaxInFlight = 1 })
 	release := make(chan struct{})
-	s.featuresFn = func(a, b dataset.Member) ([]float64, float64, bool, error) {
+	s.featuresFn = func(bag []dataset.Member) ([]float64, float64, bool, error) {
 		<-release
 		return nil, 0, false, fmt.Errorf("released")
 	}
@@ -260,11 +260,11 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	s := newTestServer(t, nil)
 	inHandler := make(chan struct{}, 1)
 	release := make(chan struct{})
-	s.featuresFn = func(a, b dataset.Member) ([]float64, float64, bool, error) {
+	s.featuresFn = func(bag []dataset.Member) ([]float64, float64, bool, error) {
 		inHandler <- struct{}{}
 		<-release
 		// Real features so the response is a genuine 200.
-		x, fairness, err := gen.FeaturesFor(a, b)
+		x, fairness, err := gen.BagFeatures(bag)
 		return x, fairness, false, err
 	}
 	_ = mod

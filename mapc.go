@@ -41,7 +41,7 @@ type (
 	Generator = dataset.Generator
 	// Corpus is the generated training dataset (Section V-B).
 	Corpus = dataset.Corpus
-	// Point is one 2-application data point.
+	// Point is one measured bag data point (2..8 applications).
 	Point = dataset.Point
 	// Member identifies a (benchmark, batch) application instance.
 	Member = dataset.Member
