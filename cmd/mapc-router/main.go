@@ -1,0 +1,106 @@
+// Command mapc-router fronts a fleet of mapc-serve replicas with a
+// consistent-hash router: every permutation of the same application bag
+// routes to the same replica (and therefore the same feature-cache entry),
+// so the tier's aggregate cache grows linearly with replica count. Health
+// probes eject dead replicas and re-admit them when they recover; requests
+// fail over to ring neighbours in the meantime.
+//
+// The router holds no model: responses come verbatim from the replicas,
+// so a router in front of one replica is bit-identical to querying the
+// replica directly.
+//
+// Endpoints mirror mapc-serve: POST /v1/predict, GET /healthz, GET /metrics.
+//
+// Usage:
+//
+//	mapc-router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+//	mapc-router -addr :8080 -replicas ... -probe-interval 2s -timeout 60s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mapc/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per replica on the hash ring")
+	probeInterval := flag.Duration("probe-interval", cluster.DefaultProbeInterval, "health probe period")
+	probeTimeout := flag.Duration("probe-timeout", cluster.DefaultProbeTimeout, "per-probe deadline")
+	failAfter := flag.Int("fail-after", cluster.DefaultFailAfter, "consecutive probe failures before ejection")
+	reviveAfter := flag.Int("revive-after", cluster.DefaultReviveAfter, "consecutive probe successes before re-admission")
+	timeout := flag.Duration("timeout", cluster.DefaultRouterTimeout, "per-request forwarding deadline")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
+	flag.Parse()
+
+	if *replicas == "" {
+		fatal(fmt.Errorf("-replicas is required (comma-separated base URLs)"))
+	}
+	var urls []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, strings.TrimRight(r, "/"))
+		}
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mapc-router: "+format+"\n", args...)
+	}
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		Replicas:      urls,
+		VirtualNodes:  *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *failAfter,
+		ReviveAfter:   *reviveAfter,
+		Logf:          logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Pool: pool, Timeout: *timeout, Logf: logf})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	go pool.Start(ctx)
+
+	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logf("listening on %s, routing to %d replica(s) (probe every %v, eject after %d, revive after %d)",
+		*addr, len(urls), *probeInterval, *failAfter, *reviveAfter)
+
+	select {
+	case err := <-errc:
+		fatal(err) // listener failed before any signal
+	case <-ctx.Done():
+		logf("signal received; draining in-flight requests (up to %v)...", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+		logf("drained; bye")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mapc-router:", err)
+	os.Exit(1)
+}

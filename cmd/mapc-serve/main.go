@@ -54,6 +54,10 @@ func main() {
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark subset for startup training (empty = full Table-II suite)")
 	batches := flag.String("batches", "", "comma-separated batch sizes for startup training (empty = 20,40,80,160,320)")
 	pprofAddr := flag.String("pprof", "", "opt-in net/http/pprof listener on a separate loopback address (e.g. 127.0.0.1:6060); empty = disabled")
+	featureCacheMB := flag.Int("feature-cache-mb", serve.DefaultFeatureCacheMB, "cross-request feature cache budget in MiB (LRU past it; cannot be disabled)")
+	snapshotPath := flag.String("snapshot", "", "feature-cache snapshot file: loaded at boot when present, saved atomically on drain")
+	warmFrom := flag.String("warm-from", "", "peer replica base URL to pull a cache snapshot from at boot (e.g. http://127.0.0.1:8081)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs consulted on cache misses before simulating locally")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -130,9 +134,40 @@ func main() {
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		FeatureCacheMB: *featureCacheMB,
 	})
 	if err != nil {
 		fatal(err)
+	}
+
+	// Warm start, cheapest source first: a local snapshot survives restarts
+	// without any network; -warm-from pulls a serving peer's cache at join;
+	// -peers keeps filling misses from siblings while running.
+	if *snapshotPath != "" {
+		switch n, err := srv.LoadSnapshotFile(*snapshotPath); {
+		case err == nil:
+			fmt.Fprintf(os.Stderr, "mapc-serve: warm-started %d cached bags from %s\n", n, *snapshotPath)
+		case os.IsNotExist(err):
+			fmt.Fprintf(os.Stderr, "mapc-serve: no snapshot at %s yet; starting cold\n", *snapshotPath)
+		default:
+			fatal(fmt.Errorf("loading snapshot %s: %w", *snapshotPath, err))
+		}
+	}
+	if *warmFrom != "" {
+		warmCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		n, err := srv.WarmFromPeer(warmCtx, nil, *warmFrom)
+		cancel()
+		if err != nil {
+			// A missing peer must not block boot: the replica serves cold.
+			fmt.Fprintf(os.Stderr, "mapc-serve: warm-from %s failed (%v); starting cold\n", *warmFrom, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "mapc-serve: warm-started %d cached bags from peer %s\n", n, *warmFrom)
+		}
+	}
+	if *peers != "" {
+		peerList := splitList(*peers)
+		srv.SetPeerFill(nil, peerList, 0)
+		fmt.Fprintf(os.Stderr, "mapc-serve: peer fill enabled against %d peer(s)\n", len(peerList))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
@@ -155,6 +190,13 @@ func main() {
 		}
 		if err := <-errc; err != nil && err != http.ErrServerClosed {
 			fatal(err)
+		}
+		if *snapshotPath != "" {
+			if err := srv.SaveSnapshotFile(*snapshotPath); err != nil {
+				fmt.Fprintf(os.Stderr, "mapc-serve: saving snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "mapc-serve: saved %d cached bags to %s\n", srv.CacheLen(), *snapshotPath)
+			}
 		}
 		fmt.Fprintln(os.Stderr, "mapc-serve: drained; bye")
 	}

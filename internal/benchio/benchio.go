@@ -1,0 +1,128 @@
+// Package benchio is the shared schema and storage for serving-tier
+// benchmark results (BENCH_serve.json): cmd/mapc-loadgen appends entries,
+// scripts/benchjson gates CI on them, and the committed file documents the
+// serving tier's measured latency/throughput/shed profile for the repo's
+// reference machine.
+//
+// The file is a single JSON document — machine metadata plus an append-only
+// entry list — replaced atomically on every append via internal/fsatomic,
+// so a crashed or interrupted loadgen run never leaves a truncated file.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"mapc/internal/fsatomic"
+)
+
+// ServeEntry is one recorded load-generation run against a replica or the
+// router. Latencies cover successful (200) responses only, measured after
+// the warmup window; shed rate is the fraction of sent requests answered
+// 503 (admission control) over the same window.
+type ServeEntry struct {
+	Label       string  `json:"label"`
+	Date        string  `json:"date"`     // RFC 3339, UTC
+	Target      string  `json:"target"`   // "replica" or "router"
+	Replicas    int     `json:"replicas"` // serving processes behind the target
+	K           int     `json:"k"`        // bag size replayed
+	QPS         float64 `json:"offered_qps"`
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"` // measured window, warmup excluded
+
+	Requests     int64            `json:"requests"` // sent during the measured window
+	StatusCounts map[string]int64 `json:"status_counts"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+
+	ThroughputRPS     float64 `json:"throughput_rps"`          // 200s per second
+	ThroughputPerCore float64 `json:"throughput_rps_per_core"` // ThroughputRPS / cores
+	ShedRate          float64 `json:"shed_rate"`               // 503s / Requests
+}
+
+// ServeBench is the schema of BENCH_serve.json.
+type ServeBench struct {
+	Machine string       `json:"machine"`
+	Cores   int          `json:"cores"`
+	Entries []ServeEntry `json:"entries"`
+}
+
+// Load reads a ServeBench file. A missing file is not an error: it returns
+// an empty document, ready to append to.
+func Load(path string) (*ServeBench, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &ServeBench{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var sb ServeBench
+	if err := json.Unmarshal(b, &sb); err != nil {
+		return nil, fmt.Errorf("benchio: parsing %s: %w", path, err)
+	}
+	return &sb, nil
+}
+
+// Append adds entry to the file at path, creating it with the given
+// machine/cores metadata when absent, and replaces the file atomically.
+// Existing machine metadata wins over the arguments, matching benchjson's
+// BENCH_baseline.json convention: the file describes one reference machine.
+func Append(path, machine string, cores int, entry ServeEntry) error {
+	sb, err := Load(path)
+	if err != nil {
+		return err
+	}
+	if sb.Machine == "" {
+		sb.Machine = machine
+	}
+	if sb.Cores == 0 {
+		sb.Cores = cores
+	}
+	sb.Entries = append(sb.Entries, entry)
+	return fsatomic.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sb)
+	})
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of sorted ascending
+// samples using linear interpolation between closest ranks — the same
+// estimate for p50 whether n is odd or even, and a defined p999 even for
+// small n. Returns NaN for an empty slice.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Quantiles sorts samples in place and returns the p50, p99 and p999
+// estimates in one pass. Returns NaNs for an empty slice.
+func Quantiles(samples []float64) (p50, p99, p999 float64) {
+	sort.Float64s(samples)
+	return Quantile(samples, 0.50), Quantile(samples, 0.99), Quantile(samples, 0.999)
+}

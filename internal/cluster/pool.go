@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Health-probe defaults.
+const (
+	DefaultProbeInterval = 2 * time.Second
+	DefaultProbeTimeout  = 1 * time.Second
+	// DefaultFailAfter consecutive probe failures eject a replica;
+	// DefaultReviveAfter consecutive successes re-admit it. Asymmetric on
+	// purpose: ejection should be quick (requests are failing), re-entry
+	// slightly sticky (a flapping replica shouldn't churn the ring).
+	DefaultFailAfter   = 3
+	DefaultReviveAfter = 2
+)
+
+// PoolConfig configures replica membership.
+type PoolConfig struct {
+	// Replicas are the member base URLs (e.g. "http://127.0.0.1:8081");
+	// required, order defines identity. Every replica stays on the hash
+	// ring permanently — health only decides whether traffic routed to it
+	// is diverted to the next ring node — so a recovered replica gets its
+	// original keyspace (and its warm cache) back.
+	Replicas []string
+	// VirtualNodes per replica on the ring; 0 means DefaultVirtualNodes.
+	VirtualNodes int
+	// Client performs health probes; nil means a client bounded by
+	// ProbeTimeout.
+	Client *http.Client
+	// ProbeInterval between health rounds for Start; 0 means
+	// DefaultProbeInterval.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one /healthz request; 0 means
+	// DefaultProbeTimeout.
+	ProbeTimeout time.Duration
+	// FailAfter / ReviveAfter are the consecutive-probe thresholds; 0
+	// means the defaults.
+	FailAfter   int
+	ReviveAfter int
+	// Logf reports membership transitions (ejections, re-admissions);
+	// nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// replicaState tracks one member's health.
+type replicaState struct {
+	url       string
+	healthy   bool
+	succ      int // consecutive probe successes
+	fail      int // consecutive probe failures (or reported ones)
+	lastError string
+}
+
+// ReplicaStatus is a point-in-time public view of one member.
+type ReplicaStatus struct {
+	URL       string `json:"url"`
+	Healthy   bool   `json:"healthy"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Pool is the health-checked membership set: a fixed replica list, a
+// consistent-hash ring over all of it, and a health bit per replica that
+// probes flip. All methods are safe for concurrent use.
+type Pool struct {
+	cfg  PoolConfig
+	ring *Ring
+
+	mu       sync.Mutex
+	replicas []*replicaState
+
+	ejections    int64
+	readmissions int64
+}
+
+// NewPool validates the config and returns a pool with every replica
+// optimistically healthy — a router boots usable before the first probe
+// round, and a genuinely dead replica costs FailAfter probes.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: pool needs at least one replica")
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = DefaultProbeTimeout
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = DefaultFailAfter
+	}
+	if cfg.ReviveAfter <= 0 {
+		cfg.ReviveAfter = DefaultReviveAfter
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.ProbeTimeout}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ring, err := NewRing(cfg.Replicas, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{cfg: cfg, ring: ring}
+	for _, u := range cfg.Replicas {
+		p.replicas = append(p.replicas, &replicaState{url: u, healthy: true})
+	}
+	return p, nil
+}
+
+// Route returns the replicas to try for key, healthiest-preference order:
+// the key's owner and ring-order fallbacks, healthy members first. The
+// full candidate list is returned (never empty) so a caller can still try
+// ejected replicas when everything is marked down — a pool that sheds all
+// traffic on a flaky probe round would turn a monitoring blip into an
+// outage.
+func (p *Pool) Route(key string) []string {
+	candidates := p.ring.LookupN(key, len(p.cfg.Replicas))
+	p.mu.Lock()
+	healthy := make(map[string]bool, len(p.replicas))
+	for _, r := range p.replicas {
+		healthy[r.url] = r.healthy
+	}
+	p.mu.Unlock()
+	// Stable partition: healthy candidates keep ring order, then ejected
+	// ones as a last resort.
+	out := make([]string, 0, len(candidates))
+	for _, c := range candidates {
+		if healthy[c] {
+			out = append(out, c)
+		}
+	}
+	for _, c := range candidates {
+		if !healthy[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReportFailure records a request-path failure against url (network error
+// or 5xx while forwarding): passive detection between probe rounds. It
+// counts like a failed probe, so FailAfter request failures eject the
+// replica without waiting for the prober.
+func (p *Pool) ReportFailure(url string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.replicas {
+		if r.url == url {
+			p.failLocked(r, msg)
+			return
+		}
+	}
+}
+
+// Probe runs one synchronous health round: GET /healthz on every replica
+// concurrently. Exported so tests (and the loadgen harness) can step
+// membership deterministically instead of sleeping through intervals.
+func (p *Pool) Probe(ctx context.Context) {
+	var wg sync.WaitGroup
+	results := make([]error, len(p.cfg.Replicas))
+	for i, u := range p.cfg.Replicas {
+		wg.Add(1)
+		go func(i int, u string) {
+			defer wg.Done()
+			results[i] = p.probeOne(ctx, u)
+		}(i, u)
+	}
+	wg.Wait()
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, r := range p.replicas {
+		if err := results[i]; err != nil {
+			p.failLocked(r, err.Error())
+		} else {
+			p.succeedLocked(r)
+		}
+	}
+}
+
+// probeOne checks one replica's /healthz.
+func (p *Pool) probeOne(ctx context.Context, baseURL string) error {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz answered %d", resp.StatusCode)
+	}
+	// Require a parseable health body: a load balancer answering 200 with
+	// an HTML error page must not count as a live replica.
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("healthz body: %v", err)
+	}
+	if body.Status != "ok" {
+		return fmt.Errorf("healthz status %q", body.Status)
+	}
+	return nil
+}
+
+// failLocked and succeedLocked apply the consecutive-count thresholds.
+// Callers hold p.mu.
+func (p *Pool) failLocked(r *replicaState, msg string) {
+	r.succ = 0
+	r.fail++
+	r.lastError = msg
+	if r.healthy && r.fail >= p.cfg.FailAfter {
+		r.healthy = false
+		p.ejections++
+		p.cfg.Logf("cluster: ejecting %s after %d consecutive failures (%s)", r.url, r.fail, msg)
+	}
+}
+
+func (p *Pool) succeedLocked(r *replicaState) {
+	r.fail = 0
+	r.succ++
+	r.lastError = ""
+	if !r.healthy && r.succ >= p.cfg.ReviveAfter {
+		r.healthy = true
+		p.readmissions++
+		p.cfg.Logf("cluster: re-admitting %s after %d consecutive healthy probes", r.url, r.succ)
+	}
+}
+
+// Start probes on the configured interval until ctx is cancelled. Run it
+// in a goroutine; it performs one immediate round first so a dead replica
+// configured at boot is ejected within FailAfter*interval, not one extra.
+func (p *Pool) Start(ctx context.Context) {
+	p.Probe(ctx)
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.Probe(ctx)
+		}
+	}
+}
+
+// Status snapshots every member's health, in configuration order.
+func (p *Pool) Status() []ReplicaStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ReplicaStatus, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = ReplicaStatus{URL: r.url, Healthy: r.healthy, LastError: r.lastError}
+	}
+	return out
+}
+
+// HealthyCount returns how many members are currently admitted.
+func (p *Pool) HealthyCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, r := range p.replicas {
+		if r.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Ejections and Readmissions return the lifetime transition counters.
+func (p *Pool) Ejections() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ejections
+}
+
+func (p *Pool) Readmissions() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readmissions
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// healthToggle is a replica stand-in whose /healthz can be flipped.
+type healthToggle struct {
+	down atomic.Bool
+}
+
+func (h *healthToggle) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if h.down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok"}`))
+	})
+	return mux
+}
+
+func newTogglePool(t *testing.T, n int, mut func(*PoolConfig)) (*Pool, []*healthToggle) {
+	t.Helper()
+	toggles := make([]*healthToggle, n)
+	urls := make([]string, n)
+	for i := range toggles {
+		toggles[i] = &healthToggle{}
+		ts := httptest.NewServer(toggles[i].handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	cfg := PoolConfig{Replicas: urls, FailAfter: 2, ReviveAfter: 2}
+	if mut != nil {
+		mut(&cfg)
+	}
+	p, err := NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, toggles
+}
+
+// TestPoolEjectionAndReadmission steps probes deterministically through
+// the full membership cycle: healthy → ejected after FailAfter failures →
+// re-admitted after ReviveAfter successes.
+func TestPoolEjectionAndReadmission(t *testing.T) {
+	p, toggles := newTogglePool(t, 2, nil)
+	ctx := context.Background()
+
+	if p.HealthyCount() != 2 {
+		t.Fatalf("pool boots with %d healthy, want 2 (optimistic start)", p.HealthyCount())
+	}
+
+	toggles[1].down.Store(true)
+	p.Probe(ctx)
+	if p.HealthyCount() != 2 {
+		t.Fatalf("one failed probe ejected a replica (FailAfter=2)")
+	}
+	p.Probe(ctx)
+	if p.HealthyCount() != 1 {
+		t.Fatalf("replica not ejected after FailAfter consecutive failures: %+v", p.Status())
+	}
+	if p.Ejections() != 1 {
+		t.Errorf("ejections = %d, want 1", p.Ejections())
+	}
+	st := p.Status()
+	if st[1].Healthy || st[1].LastError == "" {
+		t.Errorf("ejected replica status %+v, want unhealthy with an error", st[1])
+	}
+
+	// A single healthy probe must not re-admit (ReviveAfter=2)…
+	toggles[1].down.Store(false)
+	p.Probe(ctx)
+	if p.HealthyCount() != 1 {
+		t.Fatal("one healthy probe re-admitted a replica (ReviveAfter=2)")
+	}
+	// …the second does.
+	p.Probe(ctx)
+	if p.HealthyCount() != 2 {
+		t.Fatalf("replica not re-admitted after ReviveAfter consecutive successes: %+v", p.Status())
+	}
+	if p.Readmissions() != 1 {
+		t.Errorf("readmissions = %d, want 1", p.Readmissions())
+	}
+}
+
+// TestPoolPassiveFailureReporting pins request-path detection: FailAfter
+// ReportFailure calls eject without any prober involvement.
+func TestPoolPassiveFailureReporting(t *testing.T) {
+	p, _ := newTogglePool(t, 2, nil)
+	url := p.cfg.Replicas[0]
+	p.ReportFailure(url, errors.New("connection refused"))
+	if p.HealthyCount() != 2 {
+		t.Fatal("one reported failure ejected (FailAfter=2)")
+	}
+	p.ReportFailure(url, errors.New("connection refused"))
+	if p.HealthyCount() != 1 {
+		t.Fatalf("passive reports did not eject: %+v", p.Status())
+	}
+	// Unknown URLs are ignored.
+	p.ReportFailure("http://nosuch:1", errors.New("x"))
+	if p.HealthyCount() != 1 {
+		t.Fatal("unknown-URL report changed membership")
+	}
+}
+
+// TestPoolRouteHealthFirst pins Route ordering: healthy candidates keep
+// ring order ahead of ejected ones, and the ejected owner returns to the
+// front after re-admission (its keyspace and warm cache come back).
+func TestPoolRouteHealthFirst(t *testing.T) {
+	p, toggles := newTogglePool(t, 3, nil)
+	ctx := context.Background()
+
+	// Find a key owned by replica 0.
+	var key string
+	for i := 0; ; i++ {
+		k := "probe-key-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if p.ring.Lookup(k) == p.cfg.Replicas[0] {
+			key = k
+			break
+		}
+	}
+
+	before := p.Route(key)
+	if before[0] != p.cfg.Replicas[0] {
+		t.Fatalf("healthy owner not first: %v", before)
+	}
+	if len(before) != 3 {
+		t.Fatalf("Route returned %d candidates, want all 3", len(before))
+	}
+
+	// Eject the owner: it must drop to the back of the candidate list,
+	// but never disappear (last-resort routing when all are down).
+	toggles[0].down.Store(true)
+	p.Probe(ctx)
+	p.Probe(ctx)
+	after := p.Route(key)
+	if after[0] == p.cfg.Replicas[0] {
+		t.Fatalf("ejected owner still first: %v", after)
+	}
+	if after[len(after)-1] != p.cfg.Replicas[0] {
+		t.Fatalf("ejected owner missing from candidates: %v", after)
+	}
+
+	// Re-admission restores the original shard map.
+	toggles[0].down.Store(false)
+	p.Probe(ctx)
+	p.Probe(ctx)
+	restored := p.Route(key)
+	if restored[0] != p.cfg.Replicas[0] {
+		t.Fatalf("re-admitted owner did not regain its keyspace: %v", restored)
+	}
+}
+
+// TestPoolRejectsGarbageHealthz pins the body check: an endpoint answering
+// 200 with a non-health payload (a misrouted LB page) is not a replica.
+func TestPoolRejectsGarbageHealthz(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("<html>totally fine</html>"))
+	}))
+	defer ts.Close()
+	p, err := NewPool(PoolConfig{Replicas: []string{ts.URL}, FailAfter: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Probe(context.Background())
+	if p.HealthyCount() != 0 {
+		t.Fatalf("garbage healthz body kept the replica admitted: %+v", p.Status())
+	}
+}

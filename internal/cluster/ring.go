@@ -1,0 +1,144 @@
+// Package cluster is the sharded serving tier over internal/serve: a
+// consistent-hash router that spreads canonical bag keys across N replica
+// processes, with health-checked membership (ejection and re-admission)
+// and warm-started replicas behind it.
+//
+// Sharding is by serve.CanonicalKey — the permutation-invariant identity
+// of a bag — so every ordering of the same multiset of applications lands
+// on the same replica and therefore the same feature-cache entry. Each
+// replica's cache holds roughly 1/N of the keyspace, which is what lets
+// the tier's aggregate cache grow linearly with replica count while each
+// process keeps its byte-bounded LRU small.
+//
+// The router holds no model and no simulator: predictions come verbatim
+// from the replicas, so a router in front of one replica is bit-identical
+// to querying the replica directly (pinned by the parity suite).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-replica vnode count. 128 points per node
+// keeps the max/mean key-share ratio under ~1.25 for small clusters while
+// the ring stays a few KB.
+const DefaultVirtualNodes = 128
+
+// fnv1a is the 64-bit FNV-1a hash of s (stdlib hash/fnv without the
+// allocation of the Hash64 interface on the router's per-bag hot path),
+// finished with a murmur-style avalanche: raw FNV clusters the hashes of
+// near-identical strings — exactly what vnode labels ("node#0".."#127")
+// and bag keys are — which skews ring ownership badly.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Ring is an immutable consistent-hash ring over replica names. Build one
+// with NewRing; Lookup and LookupN are safe for concurrent use. Membership
+// changes build a new Ring (the Pool swaps it atomically), which keeps
+// every lookup lock-free.
+type Ring struct {
+	hashes []uint64          // sorted vnode positions
+	owner  map[uint64]string // vnode position → replica name
+	nodes  []string          // distinct replica names, stable order
+}
+
+// NewRing hashes each node onto the ring vnodes times. Node names must be
+// distinct; vnodes <= 0 means DefaultVirtualNodes.
+func NewRing(nodes []string, vnodes int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		hashes: make([]uint64, 0, len(nodes)*vnodes),
+		owner:  make(map[uint64]string, len(nodes)*vnodes),
+		nodes:  append([]string(nil), nodes...),
+	}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node name")
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("cluster: duplicate node %q", n)
+		}
+		seen[n] = true
+		for v := 0; v < vnodes; v++ {
+			h := fnv1a(fmt.Sprintf("%s#%d", n, v))
+			for r.owner[h] != "" && r.owner[h] != n {
+				// Vanishingly rare 64-bit collision between two nodes'
+				// vnodes: perturb deterministically so both keep their
+				// full vnode count.
+				h = fnv1a(fmt.Sprintf("%s#%d#%d", n, v, h))
+			}
+			if _, dup := r.owner[h]; dup {
+				continue
+			}
+			r.owner[h] = n
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+	return r, nil
+}
+
+// Nodes returns the ring's member names in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Lookup returns the replica owning key: the first vnode clockwise from
+// the key's hash.
+func (r *Ring) Lookup(key string) string {
+	return r.owner[r.hashes[r.search(key)]]
+}
+
+// LookupN returns up to n distinct replicas in ring order starting at the
+// key's owner — the owner first, then the fallbacks a router tries when
+// the owner is ejected or errs. n past the member count is clamped.
+func (r *Ring) LookupN(key string, n int) []string {
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	start := r.search(key)
+	for i := 0; i < len(r.hashes) && len(out) < n; i++ {
+		node := r.owner[r.hashes[(start+i)%len(r.hashes)]]
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first vnode at or clockwise past the
+// key's hash, wrapping at the top of the ring.
+func (r *Ring) search(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"mapc/internal/serve"
+)
+
+func mustRing(t *testing.T, nodes []string, vnodes int) *Ring {
+	t.Helper()
+	r, err := NewRing(nodes, vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Error("empty node name accepted")
+	}
+}
+
+// TestRingDeterministic pins that lookup is a pure function of (members,
+// key): two independently built rings route every key identically — the
+// property that lets a rebooted router keep the same shard map.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := mustRing(t, nodes, 0)
+	r2 := mustRing(t, []string{"http://c:3", "http://a:1", "http://b:2"}, 0) // order must not matter
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("sift/%d+surf/%d", i, i*2)
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("key %q routes to %s vs %s depending on construction order", k, r1.Lookup(k), r2.Lookup(k))
+		}
+	}
+}
+
+// TestRingBalance checks vnode spreading: no replica owns a grossly
+// disproportionate key share.
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := mustRing(t, nodes, 0)
+	counts := map[string]int{}
+	const keys = 30000
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("key-%d", i))]++
+	}
+	mean := float64(keys) / float64(len(nodes))
+	for n, c := range counts {
+		ratio := float64(c) / mean
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("node %s owns %d/%d keys (%.2fx the mean); ring is unbalanced: %v", n, c, keys, ratio, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderGrowth pins the consistent-hashing property: adding
+// a node moves roughly 1/(n+1) of the keys, not all of them — the reason
+// replica caches survive scale-out.
+func TestRingStabilityUnderGrowth(t *testing.T) {
+	before := mustRing(t, []string{"a", "b", "c"}, 0)
+	after := mustRing(t, []string{"a", "b", "c", "d"}, 0)
+	const keys = 20000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		ob, oa := before.Lookup(k), after.Lookup(k)
+		if ob != oa {
+			if oa != "d" {
+				t.Fatalf("key %q moved %s→%s; growth must only move keys to the new node", k, ob, oa)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.15 || frac > 0.35 {
+		t.Errorf("adding 1 node to 3 moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+}
+
+// TestLookupN pins fallback semantics: distinct nodes, owner first,
+// clamped at the member count.
+func TestLookupN(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := mustRing(t, nodes, 0)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		cands := r.LookupN(k, 10)
+		if len(cands) != len(nodes) {
+			t.Fatalf("LookupN clamped to %d, want %d", len(cands), len(nodes))
+		}
+		if cands[0] != r.Lookup(k) {
+			t.Fatalf("LookupN[0]=%s != Lookup=%s", cands[0], r.Lookup(k))
+		}
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("duplicate candidate %s in %v", c, cands)
+			}
+			seen[c] = true
+		}
+	}
+	if got := r.LookupN("k", 0); got != nil {
+		t.Errorf("LookupN(0) = %v, want nil", got)
+	}
+}
+
+// TestCanonicalKeyRoutesPermutationsTogether is the sharding contract:
+// every ordering of one multiset of members routes to the same replica.
+func TestCanonicalKeyRoutesPermutationsTogether(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c", "d", "e"}, 0)
+	perms := [][]serve.Member{
+		{{Benchmark: "sift", Batch: 20}, {Benchmark: "surf", Batch: 40}, {Benchmark: "knn", Batch: 80}},
+		{{Benchmark: "surf", Batch: 40}, {Benchmark: "knn", Batch: 80}, {Benchmark: "sift", Batch: 20}},
+		{{Benchmark: "knn", Batch: 80}, {Benchmark: "sift", Batch: 20}, {Benchmark: "surf", Batch: 40}},
+	}
+	want := r.Lookup(serve.CanonicalKey(perms[0]))
+	for i, p := range perms {
+		if got := r.Lookup(serve.CanonicalKey(p)); got != want {
+			t.Errorf("permutation %d routes to %s, permutation 0 to %s", i, got, want)
+		}
+	}
+}

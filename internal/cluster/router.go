@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mapc/internal/serve"
+)
+
+// Router defaults.
+const (
+	DefaultRouterTimeout = 60 * time.Second
+	routerMaxBodyBytes   = 1 << 20
+)
+
+// RouterConfig configures the sharding router.
+type RouterConfig struct {
+	// Pool is the replica membership; required.
+	Pool *Pool
+	// Client forwards prediction sub-batches; nil means a fresh client
+	// with no global timeout (per-request contexts bound each forward).
+	Client *http.Client
+	// Timeout bounds one client request end-to-end across all forwards
+	// and retries; 0 means DefaultRouterTimeout.
+	Timeout time.Duration
+	// Logf reports forwarding errors; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Router shards /v1/predict bags across replicas by canonical bag key and
+// reassembles the answers in request order. It owns no model: every
+// prediction comes verbatim from a replica, so routed answers are
+// bit-identical to asking the owning replica directly.
+type Router struct {
+	cfg     RouterConfig
+	pool    *Pool
+	metrics *routerMetrics
+	start   time.Time
+}
+
+// NewRouter validates the config and returns a ready router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("cluster: router needs a pool")
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultRouterTimeout
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Router{cfg: cfg, pool: cfg.Pool, metrics: newRouterMetrics(), start: time.Now()}, nil
+}
+
+// Handler returns the router's HTTP mux.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", rt.handlePredict)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+// Pool exposes the membership (for probe wiring in cmd/mapc-router).
+func (rt *Router) Pool() *Pool { return rt.pool }
+
+// writeJSON mirrors the serve layer's response shape (pretty-printed).
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return code
+}
+
+// bagCall tracks one bag through forwarding: its original position, its
+// canonical key's candidate replicas, and how many have been tried.
+type bagCall struct {
+	index   int
+	members []serve.Member
+	cands   []string
+	attempt int
+}
+
+// forwardError is a sub-batch outcome that should be propagated to the
+// client as-is (a replica answered non-200).
+type forwardError struct {
+	status     int
+	body       serve.ErrorResponse
+	retryAfter string
+}
+
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	startTime := time.Now()
+	code := rt.servePredict(w, r)
+	rt.metrics.observe(code, time.Since(startTime))
+}
+
+func (rt *Router) servePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		return writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "use POST"})
+	}
+	body := http.MaxBytesReader(w, r.Body, routerMaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	var req serve.PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: fmt.Sprintf("decoding request: %v", err)})
+	}
+	// Same trailing-data contract as the replicas: exactly one JSON value.
+	if tok, err := dec.Token(); err != io.EOF {
+		return writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{
+			Error: fmt.Sprintf("request body carries trailing data after the JSON value (next token %v); send exactly one JSON object", tok)})
+	}
+	bags, err := req.BagList()
+	if err != nil {
+		return writeJSON(w, http.StatusBadRequest, serve.ErrorResponse{Error: err.Error()})
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
+	defer cancel()
+
+	calls := make([]*bagCall, len(bags))
+	for i, ms := range bags {
+		calls[i] = &bagCall{index: i, members: ms, cands: rt.pool.Route(serve.CanonicalKey(ms))}
+	}
+
+	results := make([]serve.BagResult, len(bags))
+	scheme := ""
+	pending := calls
+	for len(pending) > 0 {
+		// Group this round's bags by the replica each should try next.
+		groups := make(map[string][]*bagCall)
+		var exhausted *bagCall
+		for _, c := range pending {
+			if c.attempt >= len(c.cands) {
+				exhausted = c
+				break
+			}
+			replica := c.cands[c.attempt]
+			c.attempt++
+			groups[replica] = append(groups[replica], c)
+		}
+		if exhausted != nil {
+			return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+				Error: fmt.Sprintf("bag %d: every replica failed; last candidate list %v", exhausted.index, exhausted.cands)})
+		}
+
+		// Forward the groups concurrently; collect per-group outcomes.
+		replicas := make([]string, 0, len(groups))
+		for rep := range groups {
+			replicas = append(replicas, rep)
+		}
+		sort.Strings(replicas)
+		type outcome struct {
+			replica string
+			resp    *serve.PredictResponse
+			ferr    *forwardError // replica answered non-200
+			netErr  error         // transport-level failure → retry next candidate
+		}
+		outcomes := make([]outcome, len(replicas))
+		var wg sync.WaitGroup
+		for i, rep := range replicas {
+			wg.Add(1)
+			go func(i int, rep string) {
+				defer wg.Done()
+				resp, ferr, netErr := rt.forward(ctx, rep, groups[rep])
+				outcomes[i] = outcome{replica: rep, resp: resp, ferr: ferr, netErr: netErr}
+			}(i, rep)
+		}
+		wg.Wait()
+
+		pending = pending[:0]
+		for _, o := range outcomes {
+			group := groups[o.replica]
+			switch {
+			case o.netErr != nil:
+				// Transport failure: report to the pool (passive ejection)
+				// and retry every bag in the group at its next candidate.
+				rt.pool.ReportFailure(o.replica, o.netErr)
+				rt.metrics.retries.Add(int64(len(group)))
+				rt.cfg.Logf("cluster: forward to %s failed (%v); retrying %d bag(s)", o.replica, o.netErr, len(group))
+				pending = append(pending, group...)
+			case o.ferr != nil:
+				// The replica answered an HTTP error: propagate it as-is —
+				// a 400 means the bag itself is invalid everywhere, a 503
+				// means the owner is shedding (the client's backpressure
+				// signal; rerouting would defeat admission control).
+				if o.ferr.retryAfter != "" {
+					w.Header().Set("Retry-After", o.ferr.retryAfter)
+				}
+				return writeJSON(w, o.ferr.status, o.ferr.body)
+			default:
+				if scheme == "" {
+					scheme = o.resp.ModelScheme
+				} else if scheme != o.resp.ModelScheme {
+					return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+						Error: fmt.Sprintf("replicas disagree on the model scheme (%q vs %q); the tier is misconfigured", scheme, o.resp.ModelScheme)})
+				}
+				for j, br := range o.resp.Results {
+					results[group[j].index] = br
+				}
+				rt.metrics.forwarded(o.replica, len(group))
+			}
+		}
+	}
+
+	rt.metrics.bags.Add(int64(len(results)))
+	return writeJSON(w, http.StatusOK, serve.PredictResponse{ModelScheme: scheme, Results: results})
+}
+
+// forward posts one sub-batch to one replica. Returns exactly one of:
+// the decoded response (len(Results) == len(group) guaranteed), a
+// forwardError to propagate, or a transport error to retry.
+func (rt *Router) forward(ctx context.Context, baseURL string, group []*bagCall) (*serve.PredictResponse, *forwardError, error) {
+	sub := serve.PredictRequest{Bags: make([]serve.Bag, len(group))}
+	for i, c := range group {
+		sub.Bags[i] = serve.Bag{Members: c.members}
+	}
+	payload, err := json.Marshal(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/predict", bytes.NewReader(payload))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		var eresp serve.ErrorResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, routerMaxBodyBytes)).Decode(&eresp); err != nil {
+			eresp.Error = fmt.Sprintf("replica %s answered %d with an unreadable body", baseURL, resp.StatusCode)
+		}
+		return nil, &forwardError{
+			status:     resp.StatusCode,
+			body:       eresp,
+			retryAfter: resp.Header.Get("Retry-After"),
+		}, nil
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, routerMaxBodyBytes)).Decode(&pr); err != nil {
+		// A 200 with a garbled body is a transport-class failure: the
+		// replica is sick, try the next candidate.
+		return nil, nil, fmt.Errorf("decoding reply from %s: %w", baseURL, err)
+	}
+	if len(pr.Results) != len(group) {
+		return nil, nil, fmt.Errorf("replica %s answered %d results for %d bags", baseURL, len(pr.Results), len(group))
+	}
+	return &pr, nil, nil
+}
+
+// RouterHealth is the router's /healthz body.
+type RouterHealth struct {
+	Status    string          `json:"status"`
+	Healthy   int             `json:"healthy"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+	UptimeSec float64         `json:"uptime_sec"`
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "GET only"})
+		return
+	}
+	status := rt.pool.Status()
+	healthy := 0
+	for _, s := range status {
+		if s.Healthy {
+			healthy++
+		}
+	}
+	// The router is "ok" while at least one replica is admitted; a tier
+	// with zero healthy members reports degraded (503) so an outer load
+	// balancer can fail away from it.
+	code, state := http.StatusOK, "ok"
+	if healthy == 0 {
+		code, state = http.StatusServiceUnavailable, "degraded"
+	}
+	writeJSON(w, code, RouterHealth{
+		Status:    state,
+		Healthy:   healthy,
+		Replicas:  status,
+		UptimeSec: time.Since(rt.start).Seconds(),
+	})
+}
+
+// routerMetrics is the router's stdlib-only instrumentation.
+type routerMetrics struct {
+	mu       sync.Mutex
+	byCode   map[int]int64
+	byTarget map[string]int64 // bags forwarded per replica
+	latSum   float64
+	latN     int64
+
+	bags    atomic.Int64
+	retries atomic.Int64
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{byCode: map[int]int64{}, byTarget: map[string]int64{}}
+}
+
+func (m *routerMetrics) observe(code int, d time.Duration) {
+	m.mu.Lock()
+	m.byCode[code]++
+	m.latSum += d.Seconds()
+	m.latN++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) forwarded(replica string, bags int) {
+	m.mu.Lock()
+	m.byTarget[replica] += int64(bags)
+	m.mu.Unlock()
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, serve.ErrorResponse{Error: "GET only"})
+		return
+	}
+	m := rt.metrics
+	m.mu.Lock()
+	codes := make([]int, 0, len(m.byCode))
+	for c := range m.byCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	targets := make([]string, 0, len(m.byTarget))
+	for t := range m.byTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, c := range codes {
+		fmt.Fprintf(w, "mapc_router_requests_total{code=%q} %d\n", fmt.Sprint(c), m.byCode[c])
+	}
+	for _, t := range targets {
+		fmt.Fprintf(w, "mapc_router_forwarded_bags_total{replica=%q} %d\n", t, m.byTarget[t])
+	}
+	fmt.Fprintf(w, "mapc_router_request_duration_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "mapc_router_request_duration_seconds_count %d\n", m.latN)
+	m.mu.Unlock()
+	fmt.Fprintf(w, "mapc_router_bags_total %d\n", m.bags.Load())
+	fmt.Fprintf(w, "mapc_router_retries_total %d\n", m.retries.Load())
+	fmt.Fprintf(w, "mapc_router_replicas_healthy %d\n", rt.pool.HealthyCount())
+	fmt.Fprintf(w, "mapc_router_ejections_total %d\n", rt.pool.Ejections())
+	fmt.Fprintf(w, "mapc_router_readmissions_total %d\n", rt.pool.Readmissions())
+	fmt.Fprintf(w, "mapc_router_uptime_seconds %g\n", time.Since(rt.start).Seconds())
+}

@@ -15,14 +15,10 @@ import (
 // computation runs exactly once.
 func TestFeatureCacheSingleflightHammer(t *testing.T) {
 	var computes atomic.Int64
-	c := &featureCache{
-		canonical: true,
-		entries:   map[string]*featureEntry{},
-	}
-	c.compute = func(bag []dataset.Member) ([]float64, float64, error) {
+	c := newStubFeatureCache(func(bag []dataset.Member) ([]float64, float64, error) {
 		computes.Add(1)
 		return []float64{float64(bag[0].Batch), float64(bag[1].Batch)}, 0.5, nil
-	}
+	}, true, 64<<20)
 
 	members := []dataset.Member{
 		{Benchmark: "sift", Batch: 20},

@@ -99,7 +99,7 @@ func TestPredictK3BagParityAndPermutation(t *testing.T) {
 		if rr.Code != http.StatusOK {
 			t.Fatalf("request %d: code %d body %s", i, rr.Code, rr.Body)
 		}
-		var resp predictResponse
+		var resp PredictResponse
 		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -141,7 +141,7 @@ func TestPredictK3BagParityAndPermutation(t *testing.T) {
 			if rr.Code != http.StatusOK {
 				t.Fatalf("perm %v: code %d body %s", p, rr.Code, rr.Body)
 			}
-			var resp predictResponse
+			var resp PredictResponse
 			if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
 				t.Fatal(err)
 			}
@@ -169,7 +169,7 @@ func TestPredictWrongBagSize400(t *testing.T) {
 	if rr.Code != http.StatusBadRequest {
 		t.Fatalf("pair bag on 3-app model answered %d: %s", rr.Code, rr.Body)
 	}
-	var er errorResponse
+	var er ErrorResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +226,7 @@ func TestPredictBagFormValidation(t *testing.T) {
 			if rr.Code != http.StatusBadRequest {
 				t.Fatalf("answered %d: %s", rr.Code, rr.Body)
 			}
-			var er errorResponse
+			var er ErrorResponse
 			if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
 				t.Fatal(err)
 			}

@@ -33,6 +33,11 @@ type Metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// peerFill counts miss-path consultations of sibling replicas: hits
+	// skipped a local simulation entirely, misses fell through to it.
+	peerFillHits   atomic.Int64
+	peerFillMisses atomic.Int64
+
 	// panics counts recovered request panics (middleware + measurement
 	// pool): each one answered 500 while the process kept serving.
 	panics atomic.Int64
@@ -41,6 +46,10 @@ type Metrics struct {
 	// (internal/simcache) at exposition time; nil until
 	// SetSimCacheSource installs one, in which case zeros are rendered.
 	simStats func() simcache.Stats
+
+	// featStats snapshots the bounded feature cache's LRU counters
+	// (evictions, resident bytes/entries); nil renders zeros.
+	featStats func() simcache.Stats
 }
 
 // NewMetrics returns a zeroed metrics set with the clock started.
@@ -138,6 +147,18 @@ func (m *Metrics) RejectValidation() { m.rejected.validation.Add(1) }
 // Call before serving begins; the source itself must be concurrency-safe.
 func (m *Metrics) SetSimCacheSource(src func() simcache.Stats) { m.simStats = src }
 
+// SetFeatureCacheSource installs the snapshot function behind the
+// feature-cache eviction/residency metrics (featureCache.Stats). Call
+// before serving begins.
+func (m *Metrics) SetFeatureCacheSource(src func() simcache.Stats) { m.featStats = src }
+
+// PeerFillHit / PeerFillMiss record peer-fill outcomes on the miss path.
+func (m *Metrics) PeerFillHit()  { m.peerFillHits.Add(1) }
+func (m *Metrics) PeerFillMiss() { m.peerFillMisses.Add(1) }
+
+// PeerFillHits returns the number of misses answered by a sibling replica.
+func (m *Metrics) PeerFillHits() int64 { return m.peerFillHits.Load() }
+
 // Panic records one recovered request panic (the request got a 500; the
 // process survived).
 func (m *Metrics) Panic() { m.panics.Add(1) }
@@ -212,8 +233,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{"mapc_feature_cache_hits_total", hits},
 		{"mapc_feature_cache_misses_total", misses},
 		{"mapc_feature_cache_hit_ratio", m.CacheHitRate()},
+		{"mapc_peer_fill_hits_total", m.peerFillHits.Load()},
+		{"mapc_peer_fill_misses_total", m.peerFillMisses.Load()},
 		{"mapc_uptime_seconds", time.Since(m.start).Seconds()},
 	}
+	// Bounded feature cache residency: the eviction counter is the
+	// regression alarm for the formerly unbounded map (a long-tail k-bag
+	// workload now trades recomputation, never memory).
+	var feat simcache.Stats
+	if m.featStats != nil {
+		feat = m.featStats()
+	}
+	lines = append(lines,
+		metricLine{"mapc_feature_cache_evictions_total", feat.Evictions},
+		metricLine{"mapc_feature_cache_bytes", feat.Bytes},
+		metricLine{"mapc_feature_cache_entries", int64(feat.Entries)},
+	)
 	// Simulation-memo counters (internal/simcache): totals plus the
 	// resident-bytes gauge.
 	var sim simcache.Stats

@@ -37,7 +37,7 @@ func TestPredictTaskPanicReturns500AndProcessSurvives(t *testing.T) {
 	if rr.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking bag answered %d, want 500 (body %s)", rr.Code, rr.Body)
 	}
-	var er errorResponse
+	var er ErrorResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
 		t.Fatalf("non-JSON 500 body: %v", err)
 	}
@@ -70,7 +70,7 @@ func TestPredictTaskPanicReturns500AndProcessSurvives(t *testing.T) {
 // once; the retry computes fresh and succeeds.
 func TestFeatureCachePanicIsNotPoisoned(t *testing.T) {
 	gen, _ := fixture(t)
-	c := newFeatureCache(gen)
+	c := newFeatureCache(gen, 0)
 	calls := 0
 	c.compute = func(bag []dataset.Member) ([]float64, float64, error) {
 		calls++
@@ -152,7 +152,7 @@ func TestFullHandlerCachePanicComputesFreshOnRetry(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("retry answered %d: %s", rr.Code, rr.Body)
 	}
-	var resp predictResponse
+	var resp PredictResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestRecoverPanicsMiddleware(t *testing.T) {
 	if rr.Code != http.StatusInternalServerError {
 		t.Fatalf("middleware answered %d, want 500", rr.Code)
 	}
-	var er errorResponse
+	var er ErrorResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
 		t.Fatalf("non-JSON recovery body %q: %v", rr.Body, err)
 	}

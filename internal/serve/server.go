@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -75,6 +76,12 @@ type Config struct {
 	// Workers sizes the per-request measurement fan-out (parallel.ForEach
 	// semantics: 0 = NumCPU, 1 = serial).
 	Workers int
+	// FeatureCacheMB bounds the cross-request feature cache in MiB; the
+	// least-recently-used bags are evicted past it (an eviction costs
+	// re-simulation on next sight, never a wrong answer). 0 means
+	// DefaultFeatureCacheMB; negative values are rejected — the cache is
+	// also the singleflight layer, so it cannot be disabled.
+	FeatureCacheMB int
 }
 
 // Server is the HTTP prediction service. Create with New; all methods are
@@ -121,10 +128,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = DefaultRequestTimeout
 	}
+	if cfg.FeatureCacheMB < 0 {
+		return nil, fmt.Errorf("serve: negative feature cache budget %d MB (0 means the %d MB default; the cache cannot be disabled)",
+			cfg.FeatureCacheMB, DefaultFeatureCacheMB)
+	}
 	s := &Server{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
-		cache:    newFeatureCache(cfg.Generator),
+		cache:    newFeatureCache(cfg.Generator, cfg.FeatureCacheMB),
 		trainedK: trainedK,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
 	}
@@ -133,6 +144,7 @@ func New(cfg Config) (*Server, error) {
 	// bags, the simcache dedupes the pure simulation prefixes *inside*
 	// fresh bags.
 	s.metrics.SetSimCacheSource(cfg.Generator.SimCacheStats)
+	s.metrics.SetFeatureCacheSource(s.cache.Stats)
 	s.featuresFn = s.cachedFeatures
 	return s, nil
 }
@@ -154,12 +166,19 @@ func (s *Server) cachedFeatures(bag []dataset.Member) ([]float64, float64, bool,
 // Metrics exposes the server's metrics (for tests and embedding callers).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// CacheLen returns the number of feature-cache entries (published and in
+// flight) — the /healthz cached_bags figure, exported for cluster tests
+// and snapshot logging.
+func (s *Server) CacheLen() int { return s.cache.Len() }
+
 // Handler returns the service's HTTP handler. Every route is wrapped in
 // the panic-recovery middleware: a panicking request answers 500 and bumps
 // mapc_serve_panics_total while the process keeps serving.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", s.handlePredict)
+	mux.HandleFunc("/v1/cache/snapshot", s.handleCacheSnapshot)
+	mux.HandleFunc("/v1/cache/entry", s.handleCacheEntry)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return s.recoverPanics(mux)
@@ -196,7 +215,7 @@ func (s *Server) recoverPanics(next http.Handler) http.Handler {
 				log.Printf("serve: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 				if !tw.wrote {
 					s.metrics.ObserveOther(writeJSON(tw, http.StatusInternalServerError,
-						errorResponse{"internal error: request handler panicked (see server logs)"}))
+						ErrorResponse{"internal error: request handler panicked (see server logs)"}))
 				}
 			}
 		}()
@@ -254,93 +273,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return srv.Shutdown(ctx)
 }
 
-// memberJSON is one application instance in the wire format.
-type memberJSON struct {
-	Benchmark string `json:"benchmark"`
-	Batch     int    `json:"batch"`
-}
-
-func (m memberJSON) member() dataset.Member {
-	return dataset.Member{Benchmark: m.Benchmark, Batch: m.Batch}
-}
-
-// bagJSON is one bag: either the legacy 2-application {"a":…,"b":…} form
-// or a k-member {"members":[…]} list. Exactly one form per bag.
-type bagJSON struct {
-	A       *memberJSON  `json:"a,omitempty"`
-	B       *memberJSON  `json:"b,omitempty"`
-	Members []memberJSON `json:"members,omitempty"`
-}
-
-// memberList flattens the bag to its member sequence.
-func (b bagJSON) memberList() ([]memberJSON, error) {
-	if len(b.Members) > 0 {
-		if b.A != nil || b.B != nil {
-			return nil, errors.New(`mixes "members" with "a"/"b"; use one form per bag`)
-		}
-		return b.Members, nil
-	}
-	if b.A == nil || b.B == nil {
-		return nil, errors.New(`requires both "a" and "b", or a "members" list`)
-	}
-	return []memberJSON{*b.A, *b.B}, nil
-}
-
-// predictRequest accepts a single bag inline — the legacy pair form
-// ({"a":…,"b":…}) or a k-member list ({"bag":[…]}) — or a batch
-// ({"bags":[…]}); combined forms are allowed and inline bags run first.
-type predictRequest struct {
-	A    *memberJSON  `json:"a,omitempty"`
-	B    *memberJSON  `json:"b,omitempty"`
-	Bag  []memberJSON `json:"bag,omitempty"`
-	Bags []bagJSON    `json:"bags,omitempty"`
-}
-
-// bagResult is one bag's answer. Members always lists the bag; the legacy
-// a/b fields are populated for 2-application bags so pair-era clients keep
-// parsing responses unchanged.
-type bagResult struct {
-	A            *memberJSON  `json:"a,omitempty"`
-	B            *memberJSON  `json:"b,omitempty"`
-	Members      []memberJSON `json:"members"`
-	PredictedSec float64      `json:"predicted_gpu_bag_time_sec"`
-	Fairness     float64      `json:"fairness"`
-	Cached       bool         `json:"cached"`
-}
-
-// predictResponse is the /v1/predict success body.
-type predictResponse struct {
-	ModelScheme string      `json:"model_scheme"`
-	Results     []bagResult `json:"results"`
-}
-
-// errorResponse is every non-2xx JSON body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
 // parseBags validates and flattens the request into a list of member
-// sequences. Every bag's size must match the model's trained bag size.
-func (s *Server) parseBags(req *predictRequest) ([][]memberJSON, error) {
-	var bags [][]memberJSON
-	switch {
-	case req.A != nil && req.B != nil:
-		bags = append(bags, []memberJSON{*req.A, *req.B})
-	case req.A != nil || req.B != nil:
-		return nil, errors.New("single-bag form requires both \"a\" and \"b\"")
-	}
-	if len(req.Bag) > 0 {
-		bags = append(bags, req.Bag)
-	}
-	for i, bag := range req.Bags {
-		ms, err := bag.memberList()
-		if err != nil {
-			return nil, fmt.Errorf("bags[%d] %v", i, err)
-		}
-		bags = append(bags, ms)
-	}
-	if len(bags) == 0 {
-		return nil, errors.New("no bags: provide {\"a\":…,\"b\":…}, {\"bag\":[…]} or {\"bags\":[…]}")
+// sequences (wire types live in wire.go, shared with the cluster router).
+// Every bag's size must match the model's trained bag size.
+func (s *Server) parseBags(req *PredictRequest) ([][]Member, error) {
+	bags, err := req.BagList()
+	if err != nil {
+		return nil, err
 	}
 	if len(bags) > s.cfg.MaxBatch {
 		return nil, fmt.Errorf("batch of %d bags exceeds the limit of %d", len(bags), s.cfg.MaxBatch)
@@ -376,7 +315,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		return writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"POST only"})
 	}
 
 	// Bounded admission: shed load before any decoding or simulation work.
@@ -386,36 +325,58 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 		s.metrics.RejectSaturated()
 		w.Header().Set("Retry-After", "1")
 		return writeJSON(w, http.StatusServiceUnavailable,
-			errorResponse{fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight)})
+			ErrorResponse{fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight)})
 	}
-	defer func() { <-s.inflight }()
+	// The slot tracks *work*, not the handler: simulations are not
+	// cancellable mid-run, so a request that times out (504) leaves its
+	// measurement goroutine running — the slot must stay held until that
+	// work finishes, or a burst of slow bags would grow actual concurrent
+	// computes far past MaxInFlight (each 504 freeing a slot for the next
+	// admission while the previous simulation kept running). Until the
+	// goroutine is handed the slot, the handler's own returns release it.
 	s.metrics.IncInFlight()
-	defer s.metrics.DecInFlight()
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			s.metrics.DecInFlight()
+			<-s.inflight
+		}
+	}()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	var req predictRequest
+	var req PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		s.metrics.RejectValidation()
-		return writeJSON(w, http.StatusBadRequest, errorResponse{"decoding request: " + err.Error()})
+		return writeJSON(w, http.StatusBadRequest, ErrorResponse{"decoding request: " + err.Error()})
+	}
+	// Reject trailing data after the first JSON value ({"a":…}{"b":…},
+	// {"a":…}garbage, …): the old decoder silently ignored everything past
+	// the first value, masking client bugs. Token returns io.EOF only
+	// when nothing but whitespace remains.
+	if tok, err := dec.Token(); err != io.EOF {
+		s.metrics.RejectValidation()
+		return writeJSON(w, http.StatusBadRequest, ErrorResponse{fmt.Sprintf(
+			"request body carries trailing data after the JSON value (next token %v); send exactly one JSON object", tok)})
 	}
 	bags, err := s.parseBags(&req)
 	if err != nil {
 		s.metrics.RejectValidation()
-		return writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return writeJSON(w, http.StatusBadRequest, ErrorResponse{err.Error()})
 	}
 
 	// Fan the bags out over the measurement worker pool, bounded by the
 	// request deadline. Simulations are not cancellable mid-run; on
-	// timeout the goroutine finishes in the background and its results
-	// land in the cache for the retry.
-	results := make([]bagResult, len(bags))
+	// timeout the goroutine finishes in the background (still holding the
+	// admission slot) and its results land in the cache for the retry.
+	results := make([]BagResult, len(bags))
 	done := make(chan error, 1)
+	handedOff = true
 	go func() {
-		done <- parallel.ForEach(s.cfg.Workers, len(bags), func(i int) error {
+		err := parallel.ForEach(s.cfg.Workers, len(bags), func(i int) error {
 			if ctx.Err() != nil {
 				return ctx.Err() // deadline hit: stop claiming new bags
 			}
@@ -432,7 +393,7 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 			if err != nil {
 				return fmt.Errorf("bag %d (%s): %w", i, label, err)
 			}
-			res := bagResult{
+			res := BagResult{
 				Members:      bags[i],
 				PredictedSec: pred, Fairness: fairness, Cached: hit,
 			}
@@ -442,19 +403,25 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 			results[i] = res
 			return nil
 		})
+		// Release the admission slot strictly before signalling
+		// completion, so a caller that saw the response can never observe
+		// the slot still held.
+		s.metrics.DecInFlight()
+		<-s.inflight
+		done <- err
 	}()
 
 	select {
 	case <-ctx.Done():
 		s.metrics.RejectTimeout()
 		return writeJSON(w, http.StatusGatewayTimeout,
-			errorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+			ErrorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
 	case err := <-done:
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.metrics.RejectTimeout()
 				return writeJSON(w, http.StatusGatewayTimeout,
-					errorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+					ErrorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
 			}
 			if panicRelated(err) {
 				// A measurement task died mid-flight; the worker pool (or
@@ -463,36 +430,25 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 				s.metrics.Panic()
 				log.Printf("serve: recovered panic in /v1/predict: %v", err)
 				return writeJSON(w, http.StatusInternalServerError,
-					errorResponse{"internal error: prediction task panicked (see server logs)"})
+					ErrorResponse{"internal error: prediction task panicked (see server logs)"})
 			}
-			return writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+			return writeJSON(w, http.StatusInternalServerError, ErrorResponse{err.Error()})
 		}
 	}
 	s.metrics.Predictions(len(bags))
-	return writeJSON(w, http.StatusOK, predictResponse{
+	return writeJSON(w, http.StatusOK, PredictResponse{
 		ModelScheme: s.cfg.Model.Scheme().Name,
 		Results:     results,
 	})
 }
 
-// healthResponse is the /healthz body.
-type healthResponse struct {
-	Status          string  `json:"status"`
-	ModelScheme     string  `json:"model_scheme"`
-	ModelFeatures   int     `json:"model_features"`
-	TrainedOnPoints int     `json:"trained_on_points"`
-	CachedBags      int     `json:"cached_bags"`
-	InFlight        int64   `json:"in_flight"`
-	UptimeSec       float64 `json:"uptime_sec"`
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"}))
+		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"GET only"}))
 		return
 	}
-	s.metrics.ObserveOther(writeJSON(w, http.StatusOK, healthResponse{
+	s.metrics.ObserveOther(writeJSON(w, http.StatusOK, HealthResponse{
 		Status:          "ok",
 		ModelScheme:     s.cfg.Model.Scheme().Name,
 		ModelFeatures:   s.cfg.Model.NumFeatures(),
@@ -506,7 +462,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"}))
+		s.metrics.ObserveOther(writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"GET only"}))
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

@@ -165,7 +165,7 @@ func TestPredictParityAndCache(t *testing.T) {
 		if rr.Code != http.StatusOK {
 			t.Fatalf("request %d: code %d body %s", i, rr.Code, rr.Body)
 		}
-		var resp predictResponse
+		var resp PredictResponse
 		if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
 			t.Fatal(err)
 		}
@@ -193,7 +193,7 @@ func TestPredictParityAndCache(t *testing.T) {
 	// Reversed member order hits the same canonical cache entry.
 	rev := `{"a":{"benchmark":"surf","batch":20},"b":{"benchmark":"sift","batch":20}}`
 	rr := doJSON(t, h, http.MethodPost, "/v1/predict", rev)
-	var resp predictResponse
+	var resp PredictResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestHealthzAndMetricsEndpoints(t *testing.T) {
 	if rr.Code != http.StatusOK {
 		t.Fatalf("healthz code %d", rr.Code)
 	}
-	var hr healthResponse
+	var hr HealthResponse
 	if err := json.Unmarshal(rr.Body.Bytes(), &hr); err != nil {
 		t.Fatal(err)
 	}

@@ -122,6 +122,23 @@ func MustNew(budgetBytes int64) *Cache {
 	return c
 }
 
+// Outcome classifies how a Lookup was satisfied. Callers that only need
+// "did I skip the compute?" use GetOrCompute; callers whose semantics
+// distinguish a published entry from joining someone else's in-flight
+// computation (e.g. serve's "cached" response field, which must not claim
+// a hit for a request that waited out a full simulation) switch on this.
+type Outcome int
+
+const (
+	// OutcomeComputed: no resident entry; this caller ran compute.
+	OutcomeComputed Outcome = iota
+	// OutcomeWaited: another goroutine's compute was in flight; this
+	// caller blocked on it and shares its result (or error).
+	OutcomeWaited
+	// OutcomeHit: a published entry was served immediately.
+	OutcomeHit
+)
+
 // GetOrCompute returns the memoized value for key, running compute at most
 // once per resident generation of the key. compute reports the value and
 // its approximate resident size in bytes; the value MUST be immutable
@@ -134,9 +151,18 @@ func MustNew(budgetBytes int64) *Cache {
 // A nil receiver runs compute directly — the cold path, bit-identical by
 // construction.
 func (c *Cache) GetOrCompute(key Key, compute func() (value any, bytes int64, err error)) (any, bool, error) {
+	v, outcome, err := c.Lookup(key, compute)
+	return v, outcome != OutcomeComputed, err
+}
+
+// Lookup is GetOrCompute with the hit bool refined into an Outcome; see
+// Outcome for when the distinction matters. Counter semantics are
+// unchanged: OutcomeHit and OutcomeWaited both count as hits, only
+// OutcomeComputed counts as a miss.
+func (c *Cache) Lookup(key Key, compute func() (value any, bytes int64, err error)) (any, Outcome, error) {
 	if c == nil {
 		v, _, err := compute()
-		return v, false, err
+		return v, OutcomeComputed, err
 	}
 
 	c.mu.Lock()
@@ -147,13 +173,13 @@ func (c *Cache) GetOrCompute(key Key, compute func() (value any, bytes int64, er
 			c.moveToFront(e)
 			c.hits++
 			c.mu.Unlock()
-			return e.val, true, e.err
+			return e.val, OutcomeHit, e.err
 		default:
 			// In flight: wait outside the lock.
 			c.hits++
 			c.mu.Unlock()
 			<-e.done
-			return e.val, true, e.err
+			return e.val, OutcomeWaited, e.err
 		}
 	}
 	e := &entry{key: key, done: make(chan struct{})}
@@ -184,7 +210,7 @@ func (c *Cache) GetOrCompute(key Key, compute func() (value any, bytes int64, er
 		c.mu.Unlock()
 		e.err = err
 		close(e.done)
-		return nil, false, err
+		return nil, OutcomeComputed, err
 	}
 	if bytes < 0 {
 		bytes = 0
@@ -202,7 +228,96 @@ func (c *Cache) GetOrCompute(key Key, compute func() (value any, bytes int64, er
 	}
 	c.mu.Unlock()
 	close(e.done)
-	return val, false, nil
+	return val, OutcomeComputed, nil
+}
+
+// Peek returns the published value for key without waiting on an in-flight
+// computation and without running anything. It does not move counters or
+// recency — peeks serve cross-replica fill requests and must not distort
+// the local working set. Nil-safe.
+func (c *Cache) Peek(key Key) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false
+	}
+}
+
+// Seed publishes a precomputed entry, as if compute had just returned it:
+// the warm-start path for a fresh replica restoring a snapshot. The value
+// must honour the same immutability contract as computed values. An
+// existing resident entry (published or in flight) wins — a snapshot never
+// clobbers live state — and the seed counts as neither hit nor miss. The
+// LRU bound applies: seeding past the budget evicts from the cold end,
+// so restoring a snapshot larger than the budget keeps its hottest
+// (earliest-seeded) prefix. Nil-safe no-op. Reports whether this call
+// inserted an entry that is still resident — false for duplicates, an
+// immediately-evicted oversize seed, or a nil cache.
+func (c *Cache) Seed(key Key, val any, bytes int64) bool {
+	if c == nil {
+		return false
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	e := &entry{key: key, done: make(chan struct{}), val: val, bytes: bytes}
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.entries[key]; exists {
+		return false
+	}
+	c.entries[key] = e
+	c.pushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	// The seed itself may have been evicted (alone over budget); report
+	// whether it is resident.
+	_, resident := c.entries[key]
+	return resident
+}
+
+// Items visits every published entry from most- to least-recently used,
+// stopping early when fn returns false. In-flight entries are skipped. The
+// snapshot of (key, value, bytes) triples is taken under the lock, then fn
+// runs outside it, so fn may take as long as it likes (e.g. stream a
+// snapshot over HTTP) without stalling lookups; entries evicted after the
+// snapshot are still visited.
+func (c *Cache) Items(fn func(key Key, val any, bytes int64) bool) {
+	if c == nil {
+		return
+	}
+	type item struct {
+		key   Key
+		val   any
+		bytes int64
+	}
+	c.mu.Lock()
+	items := make([]item, 0, len(c.entries))
+	for e := c.head; e != nil; e = e.next {
+		items = append(items, item{e.key, e.val, e.bytes})
+	}
+	c.mu.Unlock()
+	for _, it := range items {
+		if !fn(it.key, it.val, it.bytes) {
+			return
+		}
+	}
 }
 
 // moveToFront relinks e as most-recently-used. Caller holds mu.

@@ -14,6 +14,13 @@
 //
 //	go run ./scripts/benchjson -check BENCH_baseline.json            # default -factor 2
 //
+// Serve-check mode gates a BENCH_serve.json produced by cmd/mapc-loadgen
+// (schema: internal/benchio): every entry must show real traffic, a shed
+// rate at or under -max-shed and a p99 at or under -max-p99-ms. CI runs it
+// after the loadgen smoke job:
+//
+//	go run ./scripts/benchjson -serve-check BENCH_serve.json -max-shed 0.1 -max-p99-ms 10000
+//
 // Only the Go toolchain and stdlib are required.
 package main
 
@@ -28,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"mapc/internal/benchio"
 )
 
 // Entry is one labelled benchmark snapshot.
@@ -52,9 +61,16 @@ func main() {
 	factor := flag.Float64("factor", 2.0, "check mode: fail when fresh ns/op > factor x baseline")
 	benchtime := flag.String("benchtime", "", "passed to `go test -benchtime` (empty = go default)")
 	corpus := flag.Bool("corpus", true, "record mode: also run the slow corpus-generation benchmark")
+	serveCheck := flag.String("serve-check", "", "serve-check mode: BENCH_serve.json (mapc-loadgen output) to gate")
+	maxShed := flag.Float64("max-shed", 0.10, "serve-check mode: fail when any entry's shed rate exceeds this")
+	maxP99Ms := flag.Float64("max-p99-ms", 10000, "serve-check mode: fail when any entry's p99 exceeds this many ms")
 	flag.Parse()
 
 	switch {
+	case *serveCheck != "":
+		if err := runServeCheck(*serveCheck, *maxShed, *maxP99Ms); err != nil {
+			fatal(err)
+		}
 	case *check != "":
 		if err := runCheck(*check, *factor, *benchtime); err != nil {
 			fatal(err)
@@ -218,6 +234,57 @@ func runCheck(path string, factor float64, benchtime string) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: all %d microbenches within %.1fx of baseline entry %q\n", len(names), factor, ref.Label)
 	return nil
+}
+
+// runServeCheck gates every entry of a loadgen-produced BENCH_serve.json:
+// real successful traffic, shed rate within maxShed, p99 within maxP99Ms.
+// Gating every entry (not just the newest) lets one CI run record several
+// configurations — 1-replica and 3-replica, say — and hold them all to the
+// same bar.
+func runServeCheck(path string, maxShed, maxP99Ms float64) error {
+	sb, err := benchio.Load(path)
+	if err != nil {
+		return err
+	}
+	if len(sb.Entries) == 0 {
+		return fmt.Errorf("%s has no entries — did mapc-loadgen run?", path)
+	}
+	var failed bool
+	for _, e := range sb.Entries {
+		var faults []string
+		if e.StatusCounts["200"] == 0 {
+			faults = append(faults, "no successful responses")
+		}
+		if e.ShedRate > maxShed {
+			faults = append(faults, fmt.Sprintf("shed %.3f > %.3f", e.ShedRate, maxShed))
+		}
+		if e.P99Ms > maxP99Ms {
+			faults = append(faults, fmt.Sprintf("p99 %.1fms > %.1fms", e.P99Ms, maxP99Ms))
+		}
+		status := "ok  "
+		if len(faults) > 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchjson: %s %-20s %s x%d: %d req, shed %.3f, p50 %.2fms p99 %.2fms p999 %.2fms, %.1f rps (%.2f/core)%s\n",
+			status, e.Label, e.Target, e.Replicas, e.Requests, e.ShedRate,
+			e.P50Ms, e.P99Ms, e.P999Ms, e.ThroughputRPS, e.ThroughputPerCore,
+			suffixFaults(faults))
+	}
+	if failed {
+		return fmt.Errorf("serving-tier gate failed (%s)", path)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: all %d serve entries within shed <= %.3f, p99 <= %.1fms\n",
+		len(sb.Entries), maxShed, maxP99Ms)
+	return nil
+}
+
+func suffixFaults(faults []string) string {
+	if len(faults) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(faults, "; ") + "]"
 }
 
 func goBench(pkg, pattern, benchtime string) (string, error) {
