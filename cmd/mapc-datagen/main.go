@@ -14,6 +14,7 @@
 //	mapc-datagen -o corpus.csv                    # CSV to a file
 //	mapc-datagen -o corpus.csv -checkpoint corpus.journal   # crash-safe
 //	mapc-datagen -o corpus.csv -checkpoint corpus.journal -resume  # continue
+//	mapc-datagen -fidelity fast -oracle 0.1 -max-oracle-err 0.05   # analytic tier, exactness-gated
 package main
 
 import (
@@ -28,9 +29,11 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mapc/internal/dataset"
 	"mapc/internal/features"
+	"mapc/internal/phasesum"
 	"mapc/internal/profiling"
 )
 
@@ -49,6 +52,10 @@ func main() {
 	batches := flag.String("batches", "", "comma-separated batch sizes (empty = 20,40,80,160,320)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of corpus generation to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
+	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier: exact (cycle-level replay), mixed (analytic when confident, exact otherwise), fast (always analytic); isolated runs are exact at every tier")
+	oracleFrac := flag.Float64("oracle", 0, "differential oracle: re-measure this fraction of bags through the exact simulators and report relative-error bounds (0 = off)")
+	oracleSeed := flag.Uint64("oracle-seed", 1, "seed selecting the oracle's bag sample (reproducible per (config, fraction, seed))")
+	maxOracleErr := flag.Float64("max-oracle-err", 0, "exit 1 when the oracle's max relative error exceeds this bound (0 = report only)")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -65,6 +72,11 @@ func main() {
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
 	cfg.K = *k
+	fid, err := phasesum.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Fidelity = fid
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}
@@ -87,15 +99,24 @@ func main() {
 		fatal(errors.New("-resume requires -checkpoint"))
 	}
 
-	var corpus *dataset.Corpus
+	// Throughput accounting: prefilled counts the points replayed from a
+	// resumed journal — they cost no simulation, so the points/sec summary
+	// excludes them from both numerator and denominator. Counting them used
+	// to make resumed runs look misleadingly fast.
+	var (
+		corpus    *dataset.Corpus
+		prefilled int
+	)
+	measureStart := time.Now()
 	if *checkpoint == "" {
 		corpus, err = gen.Generate()
 		if err != nil {
 			fatal(err)
 		}
 	} else {
-		corpus = generateCheckpointed(gen, cfg, *checkpoint, *resume)
+		corpus, prefilled = generateCheckpointed(gen, cfg, *checkpoint, *resume)
 	}
+	measureDur := time.Since(measureStart)
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -115,9 +136,35 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "mapc-datagen: wrote %d data points (%d features + target)\n",
 		len(corpus.Points), len(corpus.FeatureNames))
+	if fresh := len(corpus.Points) - prefilled; fresh > 0 && measureDur > 0 {
+		msg := fmt.Sprintf("mapc-datagen: measured %d fresh point(s) in %v (%.2f points/sec",
+			fresh, measureDur.Round(time.Millisecond), float64(fresh)/measureDur.Seconds())
+		if prefilled > 0 {
+			msg += fmt.Sprintf("; %d journal-prefilled point(s) excluded", prefilled)
+		}
+		fmt.Fprintln(os.Stderr, msg+")")
+	}
+	if fs := gen.FidelityStats(); fs.AnalyticRuns+fs.ExactFallbacks > 0 {
+		fmt.Fprintf(os.Stderr, "mapc-datagen: fidelity %s: %d analytic co-run(s), %d exact fallback(s)\n",
+			fs.Fidelity, fs.AnalyticRuns, fs.ExactFallbacks)
+	}
 	if st := gen.SimCacheStats(); st.Hits+st.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "mapc-datagen: simcache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %.1f MiB resident)\n",
 			100*st.HitRate(), st.Hits, st.Misses, st.Evictions, float64(st.Bytes)/(1<<20))
+	}
+
+	if *oracleFrac > 0 {
+		rep, err := gen.RunOracle(*oracleFrac, *oracleSeed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr,
+			"mapc-datagen: oracle (%s, %d/%d bags, seed %d): cpu max %.4g mean %.4g, gpu max %.4g mean %.4g rel. err\n",
+			rep.Fidelity, rep.Sampled, rep.Total, *oracleSeed,
+			rep.MaxRelErrCPU, rep.MeanRelErrCPU, rep.MaxRelErrGPU, rep.MeanRelErrGPU)
+		if *maxOracleErr > 0 && !rep.Within(*maxOracleErr) {
+			fatal(fmt.Errorf("oracle max relative error exceeds bound %g", *maxOracleErr))
+		}
 	}
 }
 
@@ -125,8 +172,9 @@ func main() {
 // handling: on a signal the worker pool stops claiming bags, in-flight
 // measurements finish and commit, the journal is flushed through an atomic
 // rename, and the process exits with status 130 and resume instructions.
-// It only returns on full success.
-func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path string, resume bool) *dataset.Corpus {
+// It only returns on full success, along with the number of points that
+// were already journaled before this run started (resume pre-fill).
+func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path string, resume bool) (*dataset.Corpus, int) {
 	var (
 		j   *dataset.Journal
 		err error
@@ -143,8 +191,9 @@ func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path strin
 	if err != nil {
 		fatal(err)
 	}
+	prefilled := j.Len()
 	if resume {
-		msg := fmt.Sprintf("mapc-datagen: resuming: %d/%d points journaled in %s", j.Len(), len(bags), path)
+		msg := fmt.Sprintf("mapc-datagen: resuming: %d/%d points journaled in %s", prefilled, len(bags), path)
 		if d := j.Dropped(); d > 0 {
 			msg += fmt.Sprintf(" (%d torn record(s) discarded)", d)
 		}
@@ -173,7 +222,7 @@ func generateCheckpointed(gen *dataset.Generator, cfg dataset.Config, path strin
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "mapc-datagen: journal complete (%d points); safe to delete %s\n", j.Len(), path)
-	return corpus
+	return corpus, prefilled
 }
 
 func writeCSV(w io.Writer, corpus *dataset.Corpus) error {

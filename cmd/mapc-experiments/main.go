@@ -15,6 +15,7 @@ import (
 
 	"mapc/internal/dataset"
 	"mapc/internal/experiments"
+	"mapc/internal/phasesum"
 	"mapc/internal/profiling"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of artifact regeneration to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
+	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier: exact | mixed | fast (figures regenerate faster at analytic tiers, with model-bounded deviations)")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
@@ -50,6 +52,11 @@ func main() {
 	cfg := dataset.DefaultConfig()
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
+	fid, err := phasesum.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Fidelity = fid
 	env := experiments.NewEnv(cfg)
 	if *only != "" {
 		t, err := experiments.Run(env, *only)

@@ -24,6 +24,7 @@ import (
 	"mapc/internal/core"
 	"mapc/internal/dataset"
 	"mapc/internal/ml"
+	"mapc/internal/phasesum"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	modelPath := flag.String("model", "", "load a saved model (mapc-train -o) instead of training")
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
+	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier: exact | mixed | fast (analytic co-runs trade accuracy for speed; isolated runs stay exact)")
 	flag.Parse()
 
 	scheme, ok := core.SchemeByName(*schemeName)
@@ -61,6 +63,11 @@ func main() {
 	// Training (when no model is loaded) must produce vectors of the same
 	// width the query bag needs, so the corpus bag size follows the query.
 	cfg.K = len(bag)
+	fid, err := phasesum.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Fidelity = fid
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)

@@ -36,6 +36,7 @@ import (
 
 	"mapc/internal/core"
 	"mapc/internal/dataset"
+	"mapc/internal/phasesum"
 	"mapc/internal/profiling"
 	"mapc/internal/serve"
 )
@@ -58,6 +59,7 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "feature-cache snapshot file: loaded at boot when present, saved atomically on drain")
 	warmFrom := flag.String("warm-from", "", "peer replica base URL to pull a cache snapshot from at boot (e.g. http://127.0.0.1:8081)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs consulted on cache misses before simulating locally")
+	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier for training and served measurements: exact | mixed | fast (isolated runs stay exact; /metrics reports the tier and per-kind co-run counts)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -80,6 +82,11 @@ func main() {
 	cfg.Workers = *workers
 	cfg.SimCacheMB = *simCacheMB
 	cfg.K = *k
+	fid, err := phasesum.ParseFidelity(*fidelity)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Fidelity = fid
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}

@@ -198,7 +198,19 @@ func RunMemo(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
 	if err := validateApps(cfg, apps); err != nil {
 		return nil, err
 	}
-	steady, err := runSteady(cfg, memo, apps)
+	return runPhased(cfg, apps, func(sub []App) ([]Result, error) {
+		return runSteady(cfg, memo, sub)
+	})
+}
+
+// runPhased executes the phased completion schedule over steady-state
+// rates: progress every active app proportionally to its current rate;
+// when the earliest finisher completes, re-evaluate the survivors as a
+// smaller client set via steady. Shared by the exact path (RunMemo) and
+// the analytic fidelity tier (RunMemoFidelity) — same schedule, different
+// steady-state evaluators.
+func runPhased(cfg Config, apps []App, steadyFn func(sub []App) ([]Result, error)) ([]Result, error) {
+	steady, err := steadyFn(apps)
 	if err != nil {
 		return nil, err
 	}
@@ -244,7 +256,7 @@ func RunMemo(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
 		for k, ai := range active {
 			sub[k] = apps[ai]
 		}
-		cur, err = runSteady(cfg, memo, sub)
+		cur, err = steadyFn(sub)
 		if err != nil {
 			return nil, err
 		}
@@ -291,7 +303,18 @@ func runSteady(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	llcRates := make([]float64, len(apps))
+	for i := range llcStats {
+		llcRates[i] = llcStats[i].MissRate()
+	}
+	return steadyFromMem(cfg, apps, mem, llcRates), nil
+}
 
+// steadyFromMem is the timing tail of runSteady: core allocation, the
+// two-pass bandwidth apportioning, and result assembly, given the
+// per-phase memory behaviour (exact or analytic) and the per-app LLC miss
+// ratios to report. Shared by the exact and analytic steady evaluators.
+func steadyFromMem(cfg Config, apps []App, mem [][]phaseMem, llcRates []float64) []Result {
 	// Core allocation. The machine provides Cores full-speed thread
 	// contexts plus diminishing-return SMT siblings: its total capacity
 	// in core-equivalents is Cores*(1 + SMTYield*(ThreadsPerCore-1)).
@@ -330,13 +353,13 @@ func runSteady(cfg Config, memo *simcache.Cache, apps []App) ([]Result, error) {
 			Cycles:       cycles,
 			Instructions: w.Instructions(),
 			DRAMBytes:    bytes,
-			LLCMissRate:  llcStats[i].MissRate(),
+			LLCMissRate:  llcRates[i],
 		}
 		if cycles > 0 {
 			results[i].IPC = float64(w.Instructions()) / cycles
 		}
 	}
-	return results, nil
+	return results
 }
 
 // bandwidthShares returns per-app available DRAM bandwidth (bytes/sec) under

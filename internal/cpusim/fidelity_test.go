@@ -1,0 +1,132 @@
+package cpusim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mapc/internal/phasesum"
+	"mapc/internal/simcache"
+)
+
+func TestFidelityExactDelegatesBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	apps := []App{
+		{Workload: computeBound("a"), Threads: 8},
+		{Workload: memoryBound("b"), Threads: 8},
+	}
+	want, err := RunMemo(cfg, nil, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fid := range []phasesum.Fidelity{"", phasesum.Exact} {
+		got, usedExact, err := RunMemoFidelity(cfg, nil, apps, fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !usedExact {
+			t.Fatalf("fidelity %q did not report the exact simulator", fid)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("fidelity %q diverged from RunMemo", fid)
+		}
+	}
+}
+
+func TestFidelitySingleAppAlwaysExact(t *testing.T) {
+	cfg := DefaultConfig()
+	apps := []App{{Workload: memoryBound("solo"), Threads: 8}}
+	want, err := RunMemo(cfg, nil, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fid := range []phasesum.Fidelity{phasesum.Mixed, phasesum.Fast} {
+		got, usedExact, err := RunMemoFidelity(cfg, nil, apps, fid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !usedExact || !reflect.DeepEqual(got, want) {
+			t.Fatalf("fidelity %q: isolated run must be the exact path", fid)
+		}
+	}
+}
+
+// TestFidelityFastBounded: the analytic co-run stays finite, in-range and
+// within a sanity factor of the exact simulation for compute- and
+// memory-bound mixes alike.
+func TestFidelityFastBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	memo := simcache.MustNew(128 << 20)
+	apps := []App{
+		{Workload: computeBound("a"), Threads: 8},
+		{Workload: memoryBound("b"), Threads: 8},
+		{Workload: memoryBound("c"), Threads: 8},
+	}
+	exact, err := RunMemo(cfg, memo, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, usedExact, err := RunMemoFidelity(cfg, memo, apps, phasesum.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedExact {
+		t.Fatal("fast fidelity must not fall back to exact")
+	}
+	for i, r := range fast {
+		if r.TimeSec <= 0 || math.IsNaN(r.TimeSec) || math.IsInf(r.TimeSec, 0) {
+			t.Fatalf("app %d: bad time %v", i, r.TimeSec)
+		}
+		if r.LLCMissRate < 0 || r.LLCMissRate > 1 {
+			t.Fatalf("app %d: LLC miss rate %v out of [0,1]", i, r.LLCMissRate)
+		}
+		if ratio := r.TimeSec / exact[i].TimeSec; ratio < 0.5 || ratio > 2 {
+			t.Fatalf("app %d: analytic time %v vs exact %v (ratio %.2f)", i, r.TimeSec, exact[i].TimeSec, ratio)
+		}
+		if r.Instructions != exact[i].Instructions {
+			t.Fatalf("app %d: instruction count changed under the analytic tier", i)
+		}
+	}
+}
+
+// TestFidelityMixedFallsBackOrMatches: mixed either trusts the model (then
+// it must agree with fast) or falls back (then it must agree with exact) —
+// never a third behaviour.
+func TestFidelityMixedFallsBackOrMatches(t *testing.T) {
+	cfg := DefaultConfig()
+	memo := simcache.MustNew(128 << 20)
+	apps := []App{
+		{Workload: memoryBound("x"), Threads: 8},
+		{Workload: memoryBound("y"), Threads: 8},
+	}
+	exact, err := RunMemo(cfg, memo, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _, err := RunMemoFidelity(cfg, memo, apps, phasesum.Fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, usedExact, err := RunMemoFidelity(cfg, memo, apps, phasesum.Mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usedExact {
+		if !reflect.DeepEqual(mixed, exact) {
+			t.Fatal("mixed fallback diverged from the exact simulator")
+		}
+	} else if !reflect.DeepEqual(mixed, fast) {
+		t.Fatal("mixed trusted the model but diverged from fast")
+	}
+}
+
+func TestFidelityValidatesLikeExact(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, _, err := RunMemoFidelity(cfg, nil, nil, phasesum.Fast); err == nil {
+		t.Error("empty app list accepted")
+	}
+	apps := []App{{Workload: computeBound("a"), Threads: 0}, {Workload: memoryBound("b"), Threads: 8}}
+	if _, _, err := RunMemoFidelity(cfg, nil, apps, phasesum.Fast); err == nil {
+		t.Error("non-positive thread count accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mapc/internal/cpusim"
 	"mapc/internal/faultinject"
@@ -22,6 +23,7 @@ import (
 	"mapc/internal/ml"
 	"mapc/internal/parallel"
 	"mapc/internal/perfmon"
+	"mapc/internal/phasesum"
 	"mapc/internal/simcache"
 	"mapc/internal/trace"
 	"mapc/internal/vision"
@@ -130,6 +132,15 @@ type Config struct {
 	// are bit-for-bit identical at every budget, so it is excluded from
 	// the journal's config fingerprint.
 	SimCacheMB int
+	// Fidelity selects how contended co-runs (the shared CPU run behind
+	// fairness and the shared GPU run behind the target) are computed:
+	// exact reference-by-reference simulation (the zero value — the legacy
+	// bit-identical path), the closed-form phase-summary tier ("fast"), or
+	// confidence-gated mixing of the two ("mixed"). Isolated runs are
+	// always exact. Unlike Workers/SimCacheMB this changes measured
+	// values, so any non-exact tier is folded into the journal
+	// fingerprint; the differential oracle (RunOracle) bounds the error.
+	Fidelity phasesum.Fidelity
 }
 
 // EffectiveWorkers resolves the configured worker count: values <= 0 mean
@@ -206,8 +217,53 @@ type Generator struct {
 	// bag at FaultSitePoint before the bag is measured.
 	fault faultinject.Injector
 
+	// Fidelity-tier counters (atomic): how many contended co-runs the
+	// analytic model answered, how many the mixed tier bounced back to the
+	// exact simulators, and how many ran exact by configuration.
+	analyticRuns   atomic.Uint64
+	exactFallbacks atomic.Uint64
+	exactRuns      atomic.Uint64
+
 	mu    sync.Mutex // guards cache map structure only
 	cache map[Member]*measureEntry
+}
+
+// FidelityStats is a snapshot of the generator's fidelity-tier counters,
+// exposed on mapc-serve /metrics and in the mapc-datagen summary.
+type FidelityStats struct {
+	// Fidelity is the configured tier ("exact", "mixed" or "fast").
+	Fidelity string
+	// AnalyticRuns counts contended co-runs answered by the closed-form
+	// phase-summary model.
+	AnalyticRuns uint64
+	// ExactFallbacks counts contended co-runs the mixed tier bounced back
+	// to the exact simulators for low model confidence.
+	ExactFallbacks uint64
+	// ExactRuns counts contended co-runs simulated exactly by
+	// configuration (always zero under pure fast fidelity).
+	ExactRuns uint64
+}
+
+// FidelityStats returns a snapshot of the fidelity-tier counters.
+func (g *Generator) FidelityStats() FidelityStats {
+	return FidelityStats{
+		Fidelity:       g.cfg.Fidelity.String(),
+		AnalyticRuns:   g.analyticRuns.Load(),
+		ExactFallbacks: g.exactFallbacks.Load(),
+		ExactRuns:      g.exactRuns.Load(),
+	}
+}
+
+// countFidelity tallies one contended co-run's tier outcome.
+func (g *Generator) countFidelity(usedExact bool) {
+	switch {
+	case !usedExact:
+		g.analyticRuns.Add(1)
+	case g.cfg.Fidelity.Analytic():
+		g.exactFallbacks.Add(1)
+	default:
+		g.exactRuns.Add(1)
+	}
 }
 
 // NewGenerator returns a generator for the given config.
@@ -232,6 +288,9 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	if cfg.K != 0 && (cfg.K < 2 || cfg.K > features.MaxApps) {
 		return nil, fmt.Errorf("dataset: bag size %d outside [2, %d] (0 means 2)", cfg.K, features.MaxApps)
+	}
+	if !cfg.Fidelity.Valid() {
+		return nil, fmt.Errorf("dataset: unknown fidelity %q (want exact, mixed or fast)", string(cfg.Fidelity))
 	}
 	seen := make(map[string]int, len(cfg.Benchmarks))
 	for i, n := range cfg.Benchmarks {
@@ -396,10 +455,11 @@ func (g *Generator) bagFairness(ms []bagMember) (float64, error) {
 	for i := range ms {
 		apps[i] = cpusim.App{Workload: ms[i].mm.workload, Threads: g.cfg.Threads}
 	}
-	cpuShared, err := cpusim.RunMemo(g.cfg.CPU, g.memo, apps)
+	cpuShared, usedExact, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, g.cfg.Fidelity)
 	if err != nil {
 		return 0, fmt.Errorf("dataset: shared CPU run %s: %w", bagLabel(ms), err)
 	}
+	g.countFidelity(usedExact)
 	perf := make([]perfmon.AppPerf, len(ms))
 	for i := range ms {
 		perf[i] = perfmon.AppPerf{IPCAlone: ms[i].mm.cpu.IPC, IPCShared: cpuShared[i].IPC}
@@ -478,10 +538,11 @@ func (g *Generator) MeasureBag(bag []Member) (Point, error) {
 	for i := range ms {
 		workloads[i] = ms[i].mm.workload
 	}
-	gpuShared, err := gpusim.RunMemo(g.cfg.GPU, g.memo, workloads)
+	gpuShared, usedExact, err := gpusim.RunMemoSharesFidelity(g.cfg.GPU, g.memo, workloads, nil, g.cfg.Fidelity)
 	if err != nil {
 		return Point{}, fmt.Errorf("dataset: shared GPU run %s: %w", bagLabel(ms), err)
 	}
+	g.countFidelity(usedExact)
 
 	x, err := features.BagVector(bagApps(ms), fairness)
 	if err != nil {

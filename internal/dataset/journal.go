@@ -15,6 +15,7 @@ import (
 
 	"mapc/internal/faultinject"
 	"mapc/internal/fsatomic"
+	"mapc/internal/phasesum"
 )
 
 // The journal makes corpus generation crash-safe: every completed
@@ -87,6 +88,12 @@ func (c Config) Fingerprint() string {
 		// Appended only beyond the paper's pair corpus so every journal
 		// written by the k=2 pipeline keeps its original fingerprint.
 		fmt.Fprintf(&sb, ";k=%d", c.EffectiveK())
+	}
+	if f := c.Fidelity.Effective(); f != phasesum.Exact {
+		// Same back-compat pattern as k: exact-fidelity journals (the only
+		// kind older pipelines could write) keep their fingerprints, while
+		// analytic tiers never mix points with exact corpora.
+		fmt.Fprintf(&sb, ";fidelity=%s", f)
 	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])

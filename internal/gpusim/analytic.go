@@ -1,0 +1,227 @@
+package gpusim
+
+import (
+	"mapc/internal/memsim"
+	"mapc/internal/phasesum"
+	"mapc/internal/simcache"
+	"mapc/internal/trace"
+)
+
+// This file is the GPU side of the fast fidelity tier (see
+// internal/phasesum): the contended co-run — the shared L2 and shared TLB
+// interleave with periodic MPS flushes that RunMemoShares replays
+// reference-by-reference — is replaced by closed-form capacity-sharing
+// estimates over memoized per-phase reuse sketches (lines for the L2,
+// pages for the TLB). Isolated runs stay exact and anchor the deltas.
+
+// memoDomainSum caches the reuse sketch of one client's reference stream.
+// Stream generation is pure in (workload, slot) — see streamEntry — so
+// sketches are keyed with an empty Config and shared across device
+// configurations.
+const memoDomainSum = "gpusim/sum"
+
+// summaryEntry is the memoized sketch; immutable once published.
+type summaryEntry struct{ sum phasesum.Summary }
+
+// streamFor returns client w's materialized stream for slot ai — through
+// the "gpusim/stream" memo when available (the same entries the exact
+// shared path uses), cold otherwise.
+func streamFor(memo *simcache.Cache, w *trace.Workload, ai int) (streamEntry, error) {
+	count := 0
+	for pi := range w.Phases {
+		if refs := w.Phases[pi].MemRefs(); refs > 0 {
+			count += memsim.SampleRefs(refs)
+		}
+	}
+	if memo == nil {
+		return materializeStream(w, ai, make([]uint64, count))
+	}
+	key := simcache.Key{Domain: memoDomainStream, Workload: w.Fingerprint(), Slot: ai}
+	v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+		se, err := materializeStream(w, ai, make([]uint64, count))
+		if err != nil {
+			return nil, 0, err
+		}
+		return se, se.bytes(), nil
+	})
+	if err != nil {
+		return streamEntry{}, err
+	}
+	return v.(streamEntry), nil
+}
+
+// streamSummaryFor returns the memoized reuse sketch of client w's stream
+// at slot ai.
+func streamSummaryFor(memo *simcache.Cache, w *trace.Workload, ai int) (phasesum.Summary, error) {
+	if memo == nil {
+		se, err := streamFor(memo, w, ai)
+		if err != nil {
+			return phasesum.Summary{}, err
+		}
+		return phasesum.Summarize(se.addrs, se.ends), nil
+	}
+	key := simcache.Key{Domain: memoDomainSum, Workload: w.Fingerprint(), Slot: ai}
+	v, _, err := memo.GetOrCompute(key, func() (any, int64, error) {
+		se, err := streamFor(memo, w, ai)
+		if err != nil {
+			return nil, 0, err
+		}
+		sum := phasesum.Summarize(se.addrs, se.ends)
+		return summaryEntry{sum: sum}, sum.Bytes(), nil
+	})
+	if err != nil {
+		return phasesum.Summary{}, err
+	}
+	return v.(summaryEntry).sum, nil
+}
+
+// smSharesOf mirrors steadyFromMem's SM partitioning: equal split for nil
+// shares, normalized weights otherwise.
+func smSharesOf(cfg Config, n int, shares []float64) []float64 {
+	out := make([]float64, n)
+	if shares == nil {
+		equal := float64(cfg.SMs) / float64(n)
+		for i := range out {
+			out[i] = equal
+		}
+		return out
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	for i, s := range shares {
+		out[i] = float64(cfg.SMs) * (s / sum)
+	}
+	return out
+}
+
+// runSteadyAnalytic is the analytic counterpart of runSteady: exact
+// isolated anchors (memo hits), closed-form shared-L2 and shared-TLB miss
+// estimates, then the identical timing tail. Returns the model's combined
+// confidence; an isolated client is computed exactly (confidence 1).
+func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, float64, error) {
+	if len(workloads) == 1 {
+		res, err := runSteady(cfg, memo, workloads, shares)
+		return res, 1, err
+	}
+	n := len(workloads)
+	lineSums := make([][]phasesum.PhaseSum, n)
+	pageSums := make([][]phasesum.PhaseSum, n)
+	rates := make([]int, n)
+	isoMems := make([][]phaseMem, n)
+	for ai, w := range workloads {
+		sum, err := streamSummaryFor(memo, w, ai)
+		if err != nil {
+			return nil, 0, err
+		}
+		lineSums[ai] = sum.Line
+		pageSums[ai] = sum.Page
+		rates[ai] = sum.TotalRefs
+		// Exact isolated anchor (memoized whole-run iso, slot 0): the
+		// model predicts contention's *delta* on top of it. Slot-0
+		// streams differ from slot-ai ones only in seed/base, so the
+		// anchor transfers; the residual is what the oracle bounds.
+		isoMem, _, _, err := simulateMemory(cfg, memo, []*trace.Workload{w})
+		if err != nil {
+			return nil, 0, err
+		}
+		isoMems[ai] = isoMem[0]
+	}
+
+	l2Cfg := phasesum.SharedConfig{Capacity: float64(cfg.L2Bytes) / memsim.LineSize}
+	tlbCfg := phasesum.SharedConfig{Capacity: float64(cfg.TLBEntries)}
+	if cfg.TLBFlushPeriod > 0 {
+		// MPS context interleaving flushes the shared TLB only with more
+		// than one resident client — the same n > 1 gate the exact
+		// interleave applies.
+		tlbCfg.FlushPeriod = float64(cfg.TLBFlushPeriod)
+	}
+	shL2 := phasesum.SharedMiss(lineSums, rates, l2Cfg)
+	shTLB := phasesum.SharedMiss(pageSums, rates, tlbCfg)
+	conf := phasesum.CombineConfidence(shL2, lineSums)
+	if c := phasesum.CombineConfidence(shTLB, pageSums); c < conf {
+		conf = c
+	}
+	// Hard guard: a partition thinner than one SM is outside the model's
+	// regime — occupancy and MLP scaling there are dominated by effects
+	// the summaries cannot see, so force the mixed tier to exact.
+	for _, s := range smSharesOf(cfg, n, shares) {
+		if s < 1 {
+			conf = 0
+			break
+		}
+	}
+
+	mem := make([][]phaseMem, n)
+	l2Rates := make([]float64, n)
+	tlbRates := make([]float64, n)
+	for ai, w := range workloads {
+		// Isolated model anchors: single-client, no flushing — matching
+		// the exact isolated interleave the anchors were measured on.
+		isoL2 := phasesum.SharedMiss([][]phasesum.PhaseSum{lineSums[ai]}, []int{rates[ai]}, phasesum.SharedConfig{Capacity: l2Cfg.Capacity})
+		isoTLB := phasesum.SharedMiss([][]phasesum.PhaseSum{pageSums[ai]}, []int{rates[ai]}, phasesum.SharedConfig{Capacity: tlbCfg.Capacity})
+		pm := make([]phaseMem, len(w.Phases))
+		var l2Sum, tlbSum, refSum float64
+		for pi := range pm {
+			refs := float64(lineSums[ai][pi].Refs)
+			if refs == 0 {
+				continue
+			}
+			l2m := phasesum.Clamp01(isoMems[ai][pi].l2Miss + shL2[ai][pi].Miss - isoL2[0][pi].Miss)
+			tlbm := phasesum.Clamp01(isoMems[ai][pi].tlbMiss + shTLB[ai][pi].Miss - isoTLB[0][pi].Miss)
+			pm[pi].l2Miss = l2m
+			pm[pi].tlbMiss = tlbm
+			l2Sum += l2m * refs
+			tlbSum += tlbm * refs
+			refSum += refs
+		}
+		mem[ai] = pm
+		if refSum > 0 {
+			l2Rates[ai] = l2Sum / refSum
+			tlbRates[ai] = tlbSum / refSum
+		}
+	}
+	return steadyFromMem(cfg, workloads, shares, mem, l2Rates, tlbRates), conf, nil
+}
+
+// RunMemoSharesFidelity is RunMemoShares with a fidelity tier. Exact
+// fidelity (and every single-client run) delegates to RunMemoShares
+// unchanged — bit-identical to the legacy path. Fast estimates every
+// contended co-run analytically; mixed does so only while the model's
+// self-reported confidence clears phasesum.DefaultMinConfidence, falling
+// back to exact simulation below it (extreme share skew and sub-SM
+// partitions land here by construction). The second return reports
+// whether the exact simulator produced the result.
+func RunMemoSharesFidelity(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64, fid phasesum.Fidelity) ([]Result, bool, error) {
+	fid = fid.Effective()
+	if !fid.Analytic() || len(workloads) == 1 {
+		res, err := RunMemoShares(cfg, memo, workloads, shares)
+		return res, true, err
+	}
+	if err := validateRun(cfg, workloads, shares); err != nil {
+		return nil, false, err
+	}
+	// Evaluate the full-contention steady state once: it is both the
+	// schedule's first step and the confidence the mixed tier gates on
+	// (the full client set is the most contended, so its confidence is
+	// the run's worst case).
+	steady, conf, err := runSteadyAnalytic(cfg, memo, workloads, shares)
+	if err != nil {
+		return nil, false, err
+	}
+	if fid == phasesum.Mixed && conf < phasesum.DefaultMinConfidence {
+		res, err := RunMemoShares(cfg, memo, workloads, shares)
+		return res, true, err
+	}
+	first := true
+	res, err := runPhased(cfg, workloads, shares, func(sub []*trace.Workload, subShares []float64) ([]Result, error) {
+		if first && len(sub) == len(workloads) {
+			first = false
+			return steady, nil
+		}
+		r, _, err := runSteadyAnalytic(cfg, memo, sub, subShares)
+		return r, err
+	})
+	return res, false, err
+}

@@ -221,34 +221,54 @@ func RunMemo(cfg Config, memo *simcache.Cache, workloads []*trace.Workload) ([]R
 // their relative weights over the freed partition (renormalized over the
 // active set), mirroring how the equal split re-divides among survivors.
 func RunMemoShares(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, error) {
-	if err := cfg.Validate(); err != nil {
+	if err := validateRun(cfg, workloads, shares); err != nil {
 		return nil, err
 	}
+	return runPhased(cfg, workloads, shares, func(sub []*trace.Workload, subShares []float64) ([]Result, error) {
+		return runSteady(cfg, memo, sub, subShares)
+	})
+}
+
+// validateRun checks the configuration, the workloads and the optional
+// partition shares before any simulation work starts.
+func validateRun(cfg Config, workloads []*trace.Workload, shares []float64) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if len(workloads) == 0 {
-		return nil, errors.New("gpusim: no workloads")
+		return errors.New("gpusim: no workloads")
 	}
 	for i, w := range workloads {
 		if w == nil {
-			return nil, fmt.Errorf("gpusim: workload %d is nil", i)
+			return fmt.Errorf("gpusim: workload %d is nil", i)
 		}
 		if err := w.Validate(); err != nil {
-			return nil, fmt.Errorf("gpusim: workload %d: %w", i, err)
+			return fmt.Errorf("gpusim: workload %d: %w", i, err)
 		}
 	}
 	if shares != nil {
 		if len(shares) != len(workloads) {
-			return nil, fmt.Errorf("gpusim: %d partition shares for %d workloads", len(shares), len(workloads))
+			return fmt.Errorf("gpusim: %d partition shares for %d workloads", len(shares), len(workloads))
 		}
 		for i, s := range shares {
 			if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
-				return nil, fmt.Errorf("gpusim: partition share %d is %v; shares are positive finite weights", i, s)
+				return fmt.Errorf("gpusim: partition share %d is %v; shares are positive finite weights", i, s)
 			}
 		}
 	}
+	return nil
+}
 
+// runPhased executes the phased completion schedule over steady-state
+// rates: progress every active client proportionally to its current rate;
+// when the earliest finisher completes, re-evaluate the survivors (with
+// their shares renormalized over the active set) as a smaller client set.
+// Shared by the exact path (RunMemoShares) and the analytic fidelity tier
+// (RunMemoSharesFidelity) — same schedule, different steady evaluators.
+func runPhased(cfg Config, workloads []*trace.Workload, shares []float64, steadyFn func(sub []*trace.Workload, subShares []float64) ([]Result, error)) ([]Result, error) {
 	// Steady-state results for the full client set: the per-app rates and
 	// statistics while everyone is resident.
-	steady, err := runSteady(cfg, memo, workloads, shares)
+	steady, err := steadyFn(workloads, shares)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +325,7 @@ func RunMemoShares(cfg Config, memo *simcache.Cache, workloads []*trace.Workload
 				subShares[k] = shares[ai]
 			}
 		}
-		cur, err = runSteady(cfg, memo, sub, subShares)
+		cur, err = steadyFn(sub, subShares)
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +355,21 @@ func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, sh
 	if err != nil {
 		return nil, err
 	}
+	l2Rates := make([]float64, len(workloads))
+	tlbRates := make([]float64, len(workloads))
+	for i := range workloads {
+		l2Rates[i] = l2Stats[i].MissRate()
+		tlbRates[i] = tlbStats[i].MissRate()
+	}
+	return steadyFromMem(cfg, workloads, shares, mem, l2Rates, tlbRates), nil
+}
 
+// steadyFromMem is the timing tail of runSteady: SM partitioning, PCIe
+// sharing, the two-pass bandwidth apportioning, and result assembly, given
+// the per-phase memory behaviour (exact or analytic) and the per-app
+// L2/TLB miss ratios to report. Shared by the exact and analytic steady
+// evaluators.
+func steadyFromMem(cfg Config, workloads []*trace.Workload, shares []float64, mem [][]phaseMem, l2Rates, tlbRates []float64) []Result {
 	n := len(workloads)
 	smShares := make([]float64, n) // MPS spatial partitioning
 	if shares == nil {
@@ -385,15 +419,15 @@ func runSteady(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, sh
 			Cycles:       cycles,
 			Instructions: w.Instructions(),
 			DRAMBytes:    bytes,
-			L2MissRate:   l2Stats[i].MissRate(),
-			TLBMissRate:  tlbStats[i].MissRate(),
+			L2MissRate:   l2Rates[i],
+			TLBMissRate:  tlbRates[i],
 			SMShare:      smShares[i],
 		}
 		if cycles > 0 {
 			results[i].IPC = float64(w.Instructions()) / cycles
 		}
 	}
-	return results, nil
+	return results
 }
 
 // BagTime returns the makespan of a concurrent run: the paper's prediction

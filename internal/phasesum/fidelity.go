@@ -1,0 +1,65 @@
+package phasesum
+
+import "fmt"
+
+// Fidelity selects how contended co-runs are computed throughout the
+// pipeline (dataset generation, serving, every command's -fidelity flag):
+//
+//   - Exact: every shared structure is simulated reference-by-reference —
+//     the bit-identical legacy path, pinned by the golden corpus hashes.
+//   - Fast: contended runs are estimated in closed form from phase
+//     summaries everywhere; isolated runs stay exact (they are the
+//     summaries' source and the delta-correction anchors).
+//   - Mixed: analytic where the model's self-reported confidence clears
+//     DefaultMinConfidence, exact fallback elsewhere.
+//
+// The zero value "" means Exact, so zero-valued configs keep the legacy
+// behaviour.
+type Fidelity string
+
+const (
+	Exact Fidelity = "exact"
+	Mixed Fidelity = "mixed"
+	Fast  Fidelity = "fast"
+)
+
+// DefaultMinConfidence is the confidence floor below which the mixed tier
+// falls back to exact simulation. Calibrated against the differential
+// oracle on the paper corpus: estimates above it stay within the gated
+// error bounds, and the satellite skew/thrash cases fall below it.
+const DefaultMinConfidence = 0.75
+
+// ParseFidelity validates a -fidelity flag value; "" selects Exact.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch Fidelity(s) {
+	case "", Exact:
+		return Exact, nil
+	case Mixed:
+		return Mixed, nil
+	case Fast:
+		return Fast, nil
+	}
+	return "", fmt.Errorf("phasesum: unknown fidelity %q (want exact, mixed or fast)", s)
+}
+
+// Effective resolves the zero value to Exact.
+func (f Fidelity) Effective() Fidelity {
+	if f == "" {
+		return Exact
+	}
+	return f
+}
+
+// Valid reports whether f is one of the three tiers (or the zero value).
+func (f Fidelity) Valid() bool {
+	switch f {
+	case "", Exact, Mixed, Fast:
+		return true
+	}
+	return false
+}
+
+// Analytic reports whether this tier ever uses the closed-form model.
+func (f Fidelity) Analytic() bool { return f == Mixed || f == Fast }
+
+func (f Fidelity) String() string { return string(f.Effective()) }

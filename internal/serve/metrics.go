@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mapc/internal/dataset"
 	"mapc/internal/simcache"
 )
 
@@ -50,6 +51,11 @@ type Metrics struct {
 	// featStats snapshots the bounded feature cache's LRU counters
 	// (evictions, resident bytes/entries); nil renders zeros.
 	featStats func() simcache.Stats
+
+	// fidelityStats snapshots the generator's fidelity-tier counters
+	// (analytic co-runs, mixed-tier exact fallbacks, exact co-runs); nil
+	// renders zeros with an "exact" tier label.
+	fidelityStats func() dataset.FidelityStats
 }
 
 // NewMetrics returns a zeroed metrics set with the clock started.
@@ -151,6 +157,11 @@ func (m *Metrics) SetSimCacheSource(src func() simcache.Stats) { m.simStats = sr
 // feature-cache eviction/residency metrics (featureCache.Stats). Call
 // before serving begins.
 func (m *Metrics) SetFeatureCacheSource(src func() simcache.Stats) { m.featStats = src }
+
+// SetFidelitySource installs the snapshot function behind the
+// mapc_fidelity_* metrics (typically dataset.Generator.FidelityStats).
+// Call before serving begins; the source itself must be concurrency-safe.
+func (m *Metrics) SetFidelitySource(src func() dataset.FidelityStats) { m.fidelityStats = src }
 
 // PeerFillHit / PeerFillMiss record peer-fill outcomes on the miss path.
 func (m *Metrics) PeerFillHit()  { m.peerFillHits.Add(1) }
@@ -261,6 +272,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		metricLine{"mapc_simcache_evictions_total", sim.Evictions},
 		metricLine{"mapc_simcache_bytes", sim.Bytes},
 		metricLine{"mapc_simcache_hit_ratio", sim.HitRate()},
+	)
+	// Fidelity-tier counters: which simulator answered the contended
+	// co-runs behind served features. A rising fallback count under mixed
+	// fidelity is the live signal that the analytic model's confidence is
+	// degrading on the traffic mix.
+	fid := dataset.FidelityStats{Fidelity: "exact"}
+	if m.fidelityStats != nil {
+		fid = m.fidelityStats()
+	}
+	if err := p("mapc_fidelity_info{tier=%q} 1\n", fid.Fidelity); err != nil {
+		return total, err
+	}
+	lines = append(lines,
+		metricLine{`mapc_fidelity_runs_total{kind="analytic"}`, int64(fid.AnalyticRuns)},
+		metricLine{`mapc_fidelity_runs_total{kind="exact_fallback"}`, int64(fid.ExactFallbacks)},
+		metricLine{`mapc_fidelity_runs_total{kind="exact"}`, int64(fid.ExactRuns)},
 	)
 	for _, l := range lines {
 		var err error

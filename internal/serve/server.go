@@ -145,6 +145,7 @@ func New(cfg Config) (*Server, error) {
 	// fresh bags.
 	s.metrics.SetSimCacheSource(cfg.Generator.SimCacheStats)
 	s.metrics.SetFeatureCacheSource(s.cache.Stats)
+	s.metrics.SetFidelitySource(cfg.Generator.FidelityStats)
 	s.featuresFn = s.cachedFeatures
 	return s, nil
 }

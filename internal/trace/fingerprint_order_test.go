@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+
+	"mapc/internal/isa"
+	"mapc/internal/phasesum"
+)
+
+// The fast fidelity tier keys memoized phase summaries by
+// Workload.Fingerprint(). Summaries are per-phase histograms, so two
+// workloads holding the same *multiset* of phases in different orders have
+// colliding summary multisets — yet their interleaved executions differ
+// (phase order decides what is resident when). This property test pins
+// that Fingerprint() distinguishes phase orderings, so summary cache
+// entries can never be served across reordered workloads.
+
+// fpRand is a tiny deterministic PRNG (splitmix64) so the property test
+// replays identically everywhere.
+type fpRand uint64
+
+func (r *fpRand) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *fpRand) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randomPhases builds n distinct phases with randomized fields.
+func randomPhases(r *fpRand, n int) []Phase {
+	out := make([]Phase, n)
+	for i := range out {
+		var counts isa.Counts
+		counts.Add(isa.MEM, uint64(1000+r.intn(100000)))
+		counts.Add(isa.ALU, uint64(1000+r.intn(100000)))
+		out[i] = Phase{
+			Name:        fmt.Sprintf("phase-%d-%d", i, r.intn(1000)),
+			Counts:      counts,
+			Footprint:   int64(1+r.intn(1<<20)) * 64,
+			Pattern:     Pattern(r.intn(4)),
+			StrideBytes: 64,
+			Reuse:       float64(r.intn(100)) / 100,
+			Parallelism: 1 + r.intn(1<<16),
+			VectorWidth: 1 + r.intn(8),
+			Launches:    1 + r.intn(4),
+		}
+	}
+	return out
+}
+
+// permute returns a copy of phases reordered by a random non-identity
+// permutation (nil when n < 2 admits none).
+func permute(r *fpRand, phases []Phase) []Phase {
+	n := len(phases)
+	if n < 2 {
+		return nil
+	}
+	for tries := 0; tries < 100; tries++ {
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := n - 1; i > 0; i-- {
+			j := r.intn(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		identity := true
+		for i, p := range perm {
+			if p != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			continue
+		}
+		out := make([]Phase, n)
+		for i, p := range perm {
+			out[i] = phases[p]
+		}
+		return out
+	}
+	// 100 straight identity draws over n >= 2 is (1/n!)^100 — unreachable.
+	panic("permute: no non-identity permutation drawn")
+}
+
+func TestFingerprintDistinguishesPhaseOrder(t *testing.T) {
+	r := fpRand(12345)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.intn(6)
+		w := &Workload{Benchmark: "prop", BatchSize: 20, Phases: randomPhases(&r, n)}
+		shuffled := &Workload{Benchmark: "prop", BatchSize: 20, Phases: permute(&r, w.Phases)}
+
+		// The reordered workload holds the identical phase multiset: its
+		// per-phase summaries collide with the original's as a set. The
+		// fingerprints must still differ.
+		if w.Fingerprint() == shuffled.Fingerprint() {
+			t.Fatalf("trial %d: permuted workload shares fingerprint %#x", trial, w.Fingerprint())
+		}
+
+		// Sanity inside the same trial: equal content hashes equal.
+		clone := &Workload{Benchmark: "prop", BatchSize: 20, Phases: append([]Phase(nil), w.Phases...)}
+		if w.Fingerprint() != clone.Fingerprint() {
+			t.Fatalf("trial %d: identical workloads disagree on fingerprint", trial)
+		}
+	}
+}
+
+// TestFingerprintOrderBeyondCollidingSummaries constructs the sharpest
+// version of the collision: two phases with identical *streams* (same
+// counts, footprint, pattern, reuse), differing only in name, swapped
+// between two workloads. Their phasesum sketches are equal element-wise
+// after sorting — a true summary collision — and the fingerprints still
+// differ.
+func TestFingerprintOrderBeyondCollidingSummaries(t *testing.T) {
+	var counts isa.Counts
+	counts.Add(isa.MEM, 50000)
+	counts.Add(isa.ALU, 20000)
+	mk := func(name string) Phase {
+		return Phase{
+			Name: name, Counts: counts, Footprint: 1 << 20,
+			Pattern: Sequential, StrideBytes: 64, Reuse: 0.5,
+			Parallelism: 4096, VectorWidth: 1, Launches: 1,
+		}
+	}
+	a := &Workload{Benchmark: "col", BatchSize: 20, Phases: []Phase{mk("p0"), mk("p1")}}
+	b := &Workload{Benchmark: "col", BatchSize: 20, Phases: []Phase{mk("p1"), mk("p0")}}
+
+	// Demonstrate the summary collision: both orderings sketch to the
+	// same per-phase histograms (the stream is phase-symmetric here).
+	addrs := make([]uint64, 2048)
+	for i := range addrs {
+		addrs[i] = uint64(i%512) << phasesum.LineShift
+	}
+	ends := []int{1024, 2048}
+	sa := phasesum.Summarize(addrs, ends)
+	sb := phasesum.Summarize(addrs, ends)
+	if sa.Line[0] != sb.Line[0] || sa.Line[1] != sb.Line[1] {
+		t.Fatal("setup: expected colliding summaries")
+	}
+
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("swapped-phase workloads share a fingerprint despite colliding summaries")
+	}
+}

@@ -3,14 +3,21 @@
 //
 // Record mode runs the memsim and simcache microbenchmarks and the
 // corpus-generation benchmark (or parses saved `go test -bench` output) and
-// appends one labelled entry to the baseline file:
+// appends one labelled entry to the baseline file. With -fidelity it also
+// runs the per-tier fidelity benchmark (BenchmarkFidelityCorpus) and the
+// in-process differential exactness oracle, recording per-tier points/sec
+// and the fast tier's relative-error bounds:
 //
 //	go run ./scripts/benchjson -label after -out BENCH_baseline.json
 //	go run ./scripts/benchjson -label before -input old_bench.txt -out BENCH_baseline.json
+//	go run ./scripts/benchjson -label phase-replay -fidelity -out BENCH_baseline.json
 //
 // Check mode re-runs only the fast microbenchmarks and fails (exit 1)
 // if any ns/op exceeds factor x the newest baseline entry. The corpus
-// points/sec figure is machine-dependent context and is never gated:
+// points/sec figure is machine-dependent context and is never gated; the
+// *fidelity* figures are gated statically against the committed entry —
+// the newest entry carrying them must show fast-tier throughput at or
+// above -min-fast-points and oracle bounds at or under -max-oracle-err:
 //
 //	go run ./scripts/benchjson -check BENCH_baseline.json            # default -factor 2
 //
@@ -37,6 +44,8 @@ import (
 	"time"
 
 	"mapc/internal/benchio"
+	"mapc/internal/dataset"
+	"mapc/internal/phasesum"
 )
 
 // Entry is one labelled benchmark snapshot.
@@ -44,7 +53,13 @@ type Entry struct {
 	Label              string             `json:"label"`
 	Date               string             `json:"date"`
 	CorpusPointsPerSec float64            `json:"corpus_points_per_sec,omitempty"`
-	MicrobenchNsPerOp  map[string]float64 `json:"microbench_ns_per_op"`
+	// FidelityPointsPerSec holds per-tier bag-measurement throughput from
+	// BenchmarkFidelityCorpus, keyed "exact" | "mixed" | "fast".
+	FidelityPointsPerSec map[string]float64 `json:"fidelity_points_per_sec,omitempty"`
+	// Oracle holds the differential exactness oracle's error bounds for
+	// the fast tier on the paper corpus.
+	Oracle            *dataset.OracleReport `json:"oracle,omitempty"`
+	MicrobenchNsPerOp map[string]float64    `json:"microbench_ns_per_op"`
 }
 
 // Baseline is the schema of BENCH_baseline.json.
@@ -61,6 +76,11 @@ func main() {
 	factor := flag.Float64("factor", 2.0, "check mode: fail when fresh ns/op > factor x baseline")
 	benchtime := flag.String("benchtime", "", "passed to `go test -benchtime` (empty = go default)")
 	corpus := flag.Bool("corpus", true, "record mode: also run the slow corpus-generation benchmark")
+	fidelity := flag.Bool("fidelity", false, "record mode: also run the per-tier fidelity benchmark and the differential exactness oracle")
+	oracleFrac := flag.Float64("oracle-frac", 0.1, "record mode with -fidelity: fraction of bags the oracle re-measures exactly")
+	oracleSeed := flag.Uint64("oracle-seed", 1, "record mode with -fidelity: seed selecting the oracle's bag sample")
+	minFastPoints := flag.Float64("min-fast-points", 100, "check mode: fail when the baseline's fast-tier throughput is below this many points/sec (0 = skip the fidelity gate)")
+	maxOracleErr := flag.Float64("max-oracle-err", 0.05, "check mode: fail when the baseline's oracle max relative error exceeds this")
 	serveCheck := flag.String("serve-check", "", "serve-check mode: BENCH_serve.json (mapc-loadgen output) to gate")
 	maxShed := flag.Float64("max-shed", 0.10, "serve-check mode: fail when any entry's shed rate exceeds this")
 	maxP99Ms := flag.Float64("max-p99-ms", 10000, "serve-check mode: fail when any entry's p99 exceeds this many ms")
@@ -72,11 +92,11 @@ func main() {
 			fatal(err)
 		}
 	case *check != "":
-		if err := runCheck(*check, *factor, *benchtime); err != nil {
+		if err := runCheck(*check, *factor, *benchtime, *minFastPoints, *maxOracleErr); err != nil {
 			fatal(err)
 		}
 	case *label != "":
-		if err := runRecord(*label, *out, *input, *benchtime, *corpus); err != nil {
+		if err := runRecord(*label, *out, *input, *benchtime, *corpus, *fidelity, *oracleFrac, *oracleSeed); err != nil {
 			fatal(err)
 		}
 	default:
@@ -94,7 +114,7 @@ var microbenchRuns = []struct{ pkg, pattern string }{
 	{"./internal/simcache", "BenchmarkSimCache"},
 }
 
-func runRecord(label, out, input, benchtime string, corpus bool) error {
+func runRecord(label, out, input, benchtime string, corpus, fidelity bool, oracleFrac float64, oracleSeed uint64) error {
 	var outputs []string
 	if input != "" {
 		for _, f := range strings.Split(input, ",") {
@@ -119,6 +139,13 @@ func runRecord(label, out, input, benchtime string, corpus bool) error {
 			}
 			outputs = append(outputs, c)
 		}
+		if fidelity {
+			c, err := goBench("./internal/dataset", "BenchmarkFidelityCorpus", benchtime)
+			if err != nil {
+				return err
+			}
+			outputs = append(outputs, c)
+		}
 	}
 
 	entry := Entry{
@@ -127,7 +154,7 @@ func runRecord(label, out, input, benchtime string, corpus bool) error {
 		MicrobenchNsPerOp: map[string]float64{},
 	}
 	var machine string
-	var corpusVals []float64
+	points := map[string][]float64{}
 	for _, o := range outputs {
 		res := parseBench(o)
 		if machine == "" {
@@ -136,24 +163,48 @@ func runRecord(label, out, input, benchtime string, corpus bool) error {
 		for name, ns := range res.nsPerOp {
 			entry.MicrobenchNsPerOp[name] = ns
 		}
-		corpusVals = append(corpusVals, res.pointsPerSec...)
+		for name, vals := range res.points {
+			points[name] = append(points[name], vals...)
+		}
+	}
+	var corpusVals []float64
+	for name, vals := range points {
+		if strings.HasPrefix(name, "GenerateCorpus") {
+			corpusVals = append(corpusVals, vals...)
+		}
 	}
 	if len(corpusVals) > 0 {
-		var sum float64
-		for _, v := range corpusVals {
-			sum += v
+		entry.CorpusPointsPerSec = round3(mean(corpusVals))
+	}
+	for _, tier := range []string{"exact", "mixed", "fast"} {
+		if vals := points["FidelityCorpus/"+tier]; len(vals) > 0 {
+			if entry.FidelityPointsPerSec == nil {
+				entry.FidelityPointsPerSec = map[string]float64{}
+			}
+			entry.FidelityPointsPerSec[tier] = round3(mean(vals))
 		}
-		entry.CorpusPointsPerSec = round3(sum / float64(len(corpusVals)))
 	}
 	// points/sec entries also report a (meaningless at n=1) ns/op; drop the
-	// corpus benchmark from the gated microbench map.
+	// throughput benchmarks from the gated microbench map.
 	for name := range entry.MicrobenchNsPerOp {
-		if strings.HasPrefix(name, "GenerateCorpus") {
+		if strings.HasPrefix(name, "GenerateCorpus") || strings.HasPrefix(name, "FidelityCorpus") {
 			delete(entry.MicrobenchNsPerOp, name)
 		}
 	}
-	if len(entry.MicrobenchNsPerOp) == 0 && entry.CorpusPointsPerSec == 0 {
+	if len(entry.MicrobenchNsPerOp) == 0 && entry.CorpusPointsPerSec == 0 && len(entry.FidelityPointsPerSec) == 0 {
 		return fmt.Errorf("no benchmark results parsed")
+	}
+
+	if fidelity && input == "" {
+		rep, err := runOracle(oracleFrac, oracleSeed)
+		if err != nil {
+			return err
+		}
+		entry.Oracle = &rep
+		fmt.Fprintf(os.Stderr,
+			"benchjson: oracle (%s, %d/%d bags): cpu max %.4g mean %.4g, gpu max %.4g mean %.4g rel. err\n",
+			rep.Fidelity, rep.Sampled, rep.Total,
+			rep.MaxRelErrCPU, rep.MeanRelErrCPU, rep.MaxRelErrGPU, rep.MeanRelErrGPU)
 	}
 
 	base := &Baseline{}
@@ -178,7 +229,30 @@ func runRecord(label, out, input, benchtime string, corpus bool) error {
 	return nil
 }
 
-func runCheck(path string, factor float64, benchtime string) error {
+// runOracle measures the fast tier's relative-error bounds in-process on
+// the paper corpus (Workers 1 so the figure matches the single-core
+// throughput target's conditions).
+func runOracle(frac float64, seed uint64) (dataset.OracleReport, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Fidelity = phasesum.Fast
+	gen, err := dataset.NewGenerator(cfg)
+	if err != nil {
+		return dataset.OracleReport{}, err
+	}
+	return gen.RunOracle(frac, seed)
+}
+
+// mean averages a non-empty slice.
+func mean(vals []float64) float64 {
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+func runCheck(path string, factor float64, benchtime string, minFastPoints, maxOracleErr float64) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -233,7 +307,46 @@ func runCheck(path string, factor float64, benchtime string) error {
 		return fmt.Errorf("microbenchmark regression beyond %.1fx baseline (%s entry %q)", factor, path, ref.Label)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: all %d microbenches within %.1fx of baseline entry %q\n", len(names), factor, ref.Label)
+	if minFastPoints > 0 {
+		if err := checkFidelity(&base, path, minFastPoints, maxOracleErr); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkFidelity gates the committed fidelity figures: the newest entry
+// carrying them must record fast-tier throughput at or above minFastPoints
+// points/sec and oracle error bounds at or under maxOracleErr. The gate is
+// static — it holds the baseline a contributor commits to the bar, so a
+// regression recorded into BENCH_baseline.json fails CI instead of
+// quietly becoming the new normal.
+func checkFidelity(base *Baseline, path string, minFastPoints, maxOracleErr float64) error {
+	for i := len(base.Entries) - 1; i >= 0; i-- {
+		e := base.Entries[i]
+		if len(e.FidelityPointsPerSec) == 0 {
+			continue
+		}
+		fast, ok := e.FidelityPointsPerSec["fast"]
+		if !ok {
+			return fmt.Errorf("entry %q records fidelity throughput but no fast tier", e.Label)
+		}
+		if fast < minFastPoints {
+			return fmt.Errorf("entry %q: fast tier %.3g points/sec below the %.3g floor", e.Label, fast, minFastPoints)
+		}
+		if e.Oracle == nil {
+			return fmt.Errorf("entry %q records fidelity throughput but no oracle bounds", e.Label)
+		}
+		if !e.Oracle.Within(maxOracleErr) {
+			return fmt.Errorf("entry %q: oracle max relative error (cpu %.4g, gpu %.4g) exceeds %.4g",
+				e.Label, e.Oracle.MaxRelErrCPU, e.Oracle.MaxRelErrGPU, maxOracleErr)
+		}
+		fmt.Fprintf(os.Stderr,
+			"benchjson: ok   fidelity entry %q: fast %.4g points/sec (floor %.4g), oracle max err cpu %.4g gpu %.4g (bound %.4g)\n",
+			e.Label, fast, minFastPoints, e.Oracle.MaxRelErrCPU, e.Oracle.MaxRelErrGPU, maxOracleErr)
+		return nil
+	}
+	return fmt.Errorf("%s has no entry with fidelity figures — record one with -label <x> -fidelity", path)
 }
 
 // runServeCheck gates every entry of a loadgen-produced BENCH_serve.json:
@@ -303,9 +416,11 @@ func goBench(pkg, pattern, benchtime string) (string, error) {
 }
 
 type benchResults struct {
-	machine      string
-	nsPerOp      map[string]float64
-	pointsPerSec []float64
+	machine string
+	nsPerOp map[string]float64
+	// points collects points/sec values per benchmark name (repeated runs
+	// of one name are averaged by the caller).
+	points map[string][]float64
 }
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -314,7 +429,7 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 // Benchmark names are reported without the "Benchmark" prefix or the
 // -GOMAXPROCS suffix, e.g. "TLBAccessHitHeavy", "StreamNext/random".
 func parseBench(out string) benchResults {
-	res := benchResults{nsPerOp: map[string]float64{}}
+	res := benchResults{nsPerOp: map[string]float64{}, points: map[string][]float64{}}
 	var cpu, goos, goarch string
 	for _, line := range strings.Split(out, "\n") {
 		line = strings.TrimSpace(line)
@@ -349,7 +464,7 @@ func parseBench(out string) benchResults {
 			case "ns/op":
 				res.nsPerOp[name] = v
 			case "points/sec":
-				res.pointsPerSec = append(res.pointsPerSec, v)
+				res.points[name] = append(res.points[name], v)
 			}
 		}
 	}
