@@ -58,6 +58,9 @@ func main() {
 	hotFrac := flag.Float64("hot-frac", 0.8, "fraction of requests drawn from the recurring hot set")
 	hotSet := flag.Int("hot-set", 8, "number of distinct recurring bags in the hot set")
 	seed := flag.Int64("seed", 1, "mix RNG seed; same seed = same request stream")
+	degradedOK := flag.Bool("degraded-ok", false, "send X-Mapc-Degraded-OK so the target may answer from the fast fidelity tier")
+	expectNoDegraded := flag.Bool("expect-no-degraded", false, "fail when any response was served degraded (no-fault consistency runs)")
+	checkConsistent := flag.Bool("check-consistent", false, "fail when repeated exact-tier answers for the same bag disagree")
 	flag.Parse()
 
 	if *target == "" {
@@ -79,7 +82,10 @@ func main() {
 	}
 
 	mix := newMix(benchList, batchList, *k, *hotSet, *hotFrac, *seed)
-	res := run(*target, mix, *qps, *concurrency, *warmup, *duration)
+	res := run(*target, mix, *qps, *concurrency, *warmup, *duration, runOpts{
+		degradedOK:      *degradedOK,
+		checkConsistent: *checkConsistent,
+	})
 
 	cores := runtime.NumCPU()
 	measured := *duration
@@ -106,11 +112,19 @@ func main() {
 	}
 	if res.sent > 0 {
 		entry.ShedRate = round3(float64(res.byStatus[503]) / float64(res.sent))
+		entry.DegradedRate = round3(float64(res.degraded) / float64(res.sent))
 	}
+	entry.Degraded = res.degraded
+	// Error rate and availability come from the status counts — the same
+	// derivation benchjson gates on, so the printed figures and the gate
+	// can never disagree.
+	entry.ErrorRate = round3(entry.ComputedErrorRate())
+	entry.Availability = round3(entry.ComputedAvailability())
 
 	fmt.Fprintf(os.Stderr,
-		"mapc-loadgen: %s: sent %d (dropped %d), 200s %d, shed %.3f; p50 %.2fms p99 %.2fms p999 %.2fms; %.1f rps (%.2f/core)\n",
-		entry.Label, res.sent, res.dropped, res.byStatus[200], entry.ShedRate,
+		"mapc-loadgen: %s: sent %d (dropped %d), 200s %d (degraded %d), errors %d (rate %.4f, avail %.4f), shed %.3f; p50 %.2fms p99 %.2fms p999 %.2fms; %.1f rps (%.2f/core)\n",
+		entry.Label, res.sent, res.dropped, res.byStatus[200], res.degraded,
+		res.errorCount(), entry.ErrorRate, entry.Availability, entry.ShedRate,
 		entry.P50Ms, entry.P99Ms, entry.P999Ms, entry.ThroughputRPS, entry.ThroughputPerCore)
 
 	if *out != "" {
@@ -126,6 +140,15 @@ func main() {
 	}
 	if res.byStatus[200] == 0 {
 		fatal(fmt.Errorf("no successful responses in the measured window"))
+	}
+	if *expectNoDegraded && res.degraded > 0 {
+		fatal(fmt.Errorf("%d responses were served degraded with -expect-no-degraded set", res.degraded))
+	}
+	if *checkConsistent && res.inconsistent > 0 {
+		fatal(fmt.Errorf("%d exact-tier answers disagreed with an earlier answer for the same bag", res.inconsistent))
+	}
+	if *checkConsistent {
+		fmt.Fprintf(os.Stderr, "mapc-loadgen: consistency: %d distinct bags, every repeat answer identical\n", len(res.answers))
 	}
 }
 
@@ -198,6 +221,11 @@ type result struct {
 	dropped   int64
 	byStatus  map[int]int64
 	latencies []float64 // ms, 200s only
+	degraded  int64     // 200s answered from the fast fidelity tier
+	// answers maps canonical bag key → the first exact-tier answer's
+	// prediction fingerprint; inconsistent counts later disagreements.
+	answers      map[string]string
+	inconsistent int64
 }
 
 func (r *result) statusCounts() map[string]int64 {
@@ -211,7 +239,25 @@ func (r *result) statusCounts() map[string]int64 {
 	return out
 }
 
-func run(target string, m *mix, qps float64, concurrency int, warmup, duration time.Duration) *result {
+// errorCount mirrors benchio's hard-failure classification: transport
+// errors plus every 5xx except the 503 shed signal.
+func (r *result) errorCount() int64 {
+	var n int64
+	for code, c := range r.byStatus {
+		if code == 0 || (code >= 500 && code != 503) {
+			n += c
+		}
+	}
+	return n
+}
+
+// runOpts carries the request-shaping knobs into the load loop.
+type runOpts struct {
+	degradedOK      bool // ask for fast-tier answers via X-Mapc-Degraded-OK
+	checkConsistent bool // fingerprint exact-tier answers per bag
+}
+
+func run(target string, m *mix, qps float64, concurrency int, warmup, duration time.Duration, opts runOpts) *result {
 	if qps <= 0 {
 		fatal(fmt.Errorf("-qps must be positive"))
 	}
@@ -222,7 +268,7 @@ func run(target string, m *mix, qps float64, concurrency int, warmup, duration t
 	client := &http.Client{Timeout: 2 * time.Minute}
 	url := strings.TrimRight(target, "/") + "/v1/predict"
 
-	res := &result{byStatus: map[int]int64{}}
+	res := &result{byStatus: map[int]int64{}, answers: map[string]string{}}
 	sem := make(chan struct{}, concurrency)
 	var wg sync.WaitGroup
 
@@ -248,14 +294,27 @@ func run(target string, m *mix, qps float64, concurrency int, warmup, duration t
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			status, elapsed := post(client, url, bag)
+			o := post(client, url, bag, opts)
 			if !measured {
 				return
 			}
 			res.mu.Lock()
-			res.byStatus[status]++
-			if status == 200 {
-				res.latencies = append(res.latencies, float64(elapsed)/float64(time.Millisecond))
+			res.byStatus[o.status]++
+			if o.status == 200 {
+				res.latencies = append(res.latencies, float64(o.elapsed)/float64(time.Millisecond))
+				if o.degraded {
+					res.degraded++
+				} else if opts.checkConsistent && o.fingerprint != "" {
+					// Exact-tier answers for one bag must never disagree —
+					// degraded answers are a different fidelity tier and are
+					// excluded (the no-fault gate forbids them separately).
+					key := serve.CanonicalKey(bag)
+					if prev, ok := res.answers[key]; !ok {
+						res.answers[key] = o.fingerprint
+					} else if prev != o.fingerprint {
+						res.inconsistent++
+					}
+				}
 			}
 			res.mu.Unlock()
 		}()
@@ -277,22 +336,58 @@ func run(target string, m *mix, qps float64, concurrency int, warmup, duration t
 	return res
 }
 
-// post sends one bag and returns the HTTP status (0 on transport error)
-// and the round-trip time.
-func post(client *http.Client, url string, bag []serve.Member) (int, time.Duration) {
+// postOutcome is one request's observed result.
+type postOutcome struct {
+	status   int // 0 on transport error
+	elapsed  time.Duration
+	degraded bool
+	// fingerprint condenses a 200 answer's predictions for the consistency
+	// check; empty when the body was unreadable or not requested.
+	fingerprint string
+}
+
+// post sends one bag and classifies the outcome. Transport errors report
+// status 0 — the hard-failure class the availability gate counts.
+func post(client *http.Client, url string, bag []serve.Member, opts runOpts) postOutcome {
 	body, err := json.Marshal(serve.PredictRequest{Bags: []serve.Bag{{Members: bag}}})
 	if err != nil {
 		fatal(err)
 	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if opts.degradedOK {
+		req.Header.Set(serve.HeaderDegradedOK, "1")
+	}
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Do(req)
 	elapsed := time.Since(t0)
 	if err != nil {
-		return 0, elapsed
+		return postOutcome{status: 0, elapsed: elapsed}
+	}
+	defer resp.Body.Close()
+	o := postOutcome{
+		status:   resp.StatusCode,
+		elapsed:  elapsed,
+		degraded: resp.Header.Get(serve.HeaderDegraded) != "",
+	}
+	if resp.StatusCode == 200 && opts.checkConsistent {
+		var pr serve.PredictResponse
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&pr); err == nil {
+			// The degraded body flag backs up the header (a proxy could
+			// strip headers; the JSON field cannot disappear).
+			o.degraded = o.degraded || pr.Degraded
+			var sb strings.Builder
+			for _, r := range pr.Results {
+				fmt.Fprintf(&sb, "%.17g|%.17g;", r.PredictedSec, r.Fairness)
+			}
+			o.fingerprint = sb.String()
+		}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode, elapsed
+	return o
 }
 
 func machine() string {

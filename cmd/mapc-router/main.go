@@ -15,6 +15,8 @@
 //
 //	mapc-router -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
 //	mapc-router -addr :8080 -replicas ... -probe-interval 2s -timeout 60s
+//	mapc-router -replicas ... -attempt-timeout 2s -retry-budget 16 -hedge-delay 50ms
+//	mapc-router -replicas ... -chaos 'blackhole|net.127.0.0.1:18082|*'   # CI fault drills
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"mapc/internal/cluster"
+	"mapc/internal/faultinject"
 )
 
 func main() {
@@ -40,6 +43,13 @@ func main() {
 	failAfter := flag.Int("fail-after", cluster.DefaultFailAfter, "consecutive probe failures before ejection")
 	reviveAfter := flag.Int("revive-after", cluster.DefaultReviveAfter, "consecutive probe successes before re-admission")
 	timeout := flag.Duration("timeout", cluster.DefaultRouterTimeout, "per-request forwarding deadline")
+	attemptTimeout := flag.Duration("attempt-timeout", cluster.DefaultAttemptTimeout, "per-forward deadline to a single replica; failover happens at this boundary, not -timeout")
+	retryBudget := flag.Int("retry-budget", cluster.DefaultRetryBudget, "failed forward attempts (beyond each group's first try) one client request may spend before 502")
+	retryBase := flag.Duration("retry-base", cluster.DefaultRetryBaseDelay, "base delay of the jittered exponential backoff between retry rounds")
+	retryMax := flag.Duration("retry-max", cluster.DefaultRetryMaxDelay, "backoff delay cap")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "tail-latency hedge for single-bag requests: race a second replica after this delay (0 = off; each hedge spends one retry budget unit)")
+	breakerCooldown := flag.Duration("breaker-cooldown", cluster.DefaultBreakerCooldown, "how long an opened per-replica circuit breaker rejects traffic before trialling one request")
+	chaos := flag.String("chaos", "", "fault-injection plan for drills: comma-separated kind|site|index[|opt=val;...] specs (site e.g. net.127.0.0.1:18082) installed on the forward and probe clients; empty = off")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown drain budget for in-flight requests")
 	flag.Parse()
 
@@ -56,19 +66,47 @@ func main() {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mapc-router: "+format+"\n", args...)
 	}
+
+	// With -chaos, both the forward path and the health probes go through
+	// the same fault-injecting transport: a black-holed replica must look
+	// dark to the prober too, or the drill would test failover against a
+	// pool that still believes the replica is healthy.
+	var forwardClient, probeClient *http.Client
+	if *chaos != "" {
+		plan, err := faultinject.ParsePlan(*chaos)
+		if err != nil {
+			fatal(err)
+		}
+		forwardClient = &http.Client{Transport: faultinject.NewTransport(http.DefaultTransport, plan)}
+		probeClient = &http.Client{Transport: faultinject.NewTransport(http.DefaultTransport, plan)}
+		logf("CHAOS: injecting %d fault spec(s) into forward and probe clients", len(plan.Faults))
+	}
+
 	pool, err := cluster.NewPool(cluster.PoolConfig{
-		Replicas:      urls,
-		VirtualNodes:  *vnodes,
-		ProbeInterval: *probeInterval,
-		ProbeTimeout:  *probeTimeout,
-		FailAfter:     *failAfter,
-		ReviveAfter:   *reviveAfter,
-		Logf:          logf,
+		Replicas:        urls,
+		VirtualNodes:    *vnodes,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		FailAfter:       *failAfter,
+		ReviveAfter:     *reviveAfter,
+		BreakerCooldown: *breakerCooldown,
+		Client:          probeClient,
+		Logf:            logf,
 	})
 	if err != nil {
 		fatal(err)
 	}
-	rt, err := cluster.NewRouter(cluster.RouterConfig{Pool: pool, Timeout: *timeout, Logf: logf})
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Pool:           pool,
+		Client:         forwardClient,
+		Timeout:        *timeout,
+		AttemptTimeout: *attemptTimeout,
+		RetryBudget:    *retryBudget,
+		RetryBaseDelay: *retryBase,
+		RetryMaxDelay:  *retryMax,
+		HedgeDelay:     *hedgeDelay,
+		Logf:           logf,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -80,8 +118,8 @@ func main() {
 	hs := &http.Server{Addr: *addr, Handler: rt.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logf("listening on %s, routing to %d replica(s) (probe every %v, eject after %d, revive after %d)",
-		*addr, len(urls), *probeInterval, *failAfter, *reviveAfter)
+	logf("listening on %s, routing to %d replica(s) (probe every %v, eject after %d, revive after %d, attempt %v, retry budget %d, hedge %v)",
+		*addr, len(urls), *probeInterval, *failAfter, *reviveAfter, *attemptTimeout, *retryBudget, *hedgeDelay)
 
 	select {
 	case err := <-errc:

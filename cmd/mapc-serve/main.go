@@ -60,6 +60,8 @@ func main() {
 	warmFrom := flag.String("warm-from", "", "peer replica base URL to pull a cache snapshot from at boot (e.g. http://127.0.0.1:8081)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs consulted on cache misses before simulating locally")
 	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier for training and served measurements: exact | mixed | fast (isolated runs stay exact; /metrics reports the tier and per-kind co-run counts)")
+	brownout := flag.Float64("brownout-watermark", serve.DefaultBrownoutWatermark, "in-flight fraction of -max-inflight past which new requests are answered from the fast fidelity tier and marked degraded; 0 disables brownout (shed-only admission)")
+	maxDegraded := flag.Int("max-degraded-inflight", 0, "extra admission slots for degraded answers once the exact pool is full; 0 = 4x -max-inflight")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -135,13 +137,15 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Model:          model,
-		Generator:      gen,
-		MaxInFlight:    *maxInFlight,
-		MaxBatch:       *maxBatch,
-		RequestTimeout: *timeout,
-		Workers:        *workers,
-		FeatureCacheMB: *featureCacheMB,
+		Model:               model,
+		Generator:           gen,
+		MaxInFlight:         *maxInFlight,
+		MaxBatch:            *maxBatch,
+		RequestTimeout:      *timeout,
+		Workers:             *workers,
+		FeatureCacheMB:      *featureCacheMB,
+		BrownoutWatermark:   *brownout,
+		MaxDegradedInFlight: *maxDegraded,
 	})
 	if err != nil {
 		fatal(err)
@@ -182,8 +186,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	fmt.Fprintf(os.Stderr, "mapc-serve: listening on %s (scheme %s, max-inflight %d, timeout %v)\n",
-		*addr, model.Scheme().Name, *maxInFlight, *timeout)
+	brownoutDesc := "off"
+	if *brownout > 0 {
+		brownoutDesc = fmt.Sprintf("%.2f", *brownout)
+	}
+	fmt.Fprintf(os.Stderr, "mapc-serve: listening on %s (scheme %s, max-inflight %d, timeout %v, brownout %s)\n",
+		*addr, model.Scheme().Name, *maxInFlight, *timeout, brownoutDesc)
 
 	select {
 	case err := <-errc:

@@ -44,6 +44,60 @@ type ServeEntry struct {
 	ThroughputRPS     float64 `json:"throughput_rps"`          // 200s per second
 	ThroughputPerCore float64 `json:"throughput_rps_per_core"` // ThroughputRPS / cores
 	ShedRate          float64 `json:"shed_rate"`               // 503s / Requests
+
+	// Degraded counts 200 responses answered from the brownout fast
+	// fidelity tier (the X-Mapc-Degraded response header); DegradedRate is
+	// Degraded / Requests. Absent for pre-brownout entries.
+	Degraded     int64   `json:"degraded,omitempty"`
+	DegradedRate float64 `json:"degraded_rate,omitempty"`
+	// ErrorRate is the fraction of sent requests that failed hard:
+	// transport errors (status 0) plus every 5xx except 503 — shedding is
+	// deliberate backpressure and is gated separately via ShedRate.
+	// Availability is its complement. Both are recomputable from
+	// StatusCounts (see ComputedErrorRate), which is what benchjson gates
+	// on, so entries recorded before these fields existed still gate
+	// correctly.
+	ErrorRate    float64 `json:"error_rate"`
+	Availability float64 `json:"availability"`
+}
+
+// errorStatus reports whether a recorded status-count key counts as a hard
+// failure: transport errors land under "0", and every 5xx except 503 (the
+// admission-control shed signal) is a server-side failure.
+func errorStatus(key string) bool {
+	if key == "0" {
+		return true
+	}
+	return len(key) == 3 && key[0] == '5' && key != "503"
+}
+
+// ComputedErrorRate derives the hard-failure rate from StatusCounts —
+// the ground truth benchjson gates on, independent of whether the entry
+// was recorded before the ErrorRate field existed. Client-side drops
+// ("dropped") are not requests and are excluded from both numerator and
+// denominator.
+func (e *ServeEntry) ComputedErrorRate() float64 {
+	var sent, failed int64
+	for key, n := range e.StatusCounts {
+		if key == "dropped" {
+			continue
+		}
+		sent += n
+		if errorStatus(key) {
+			failed += n
+		}
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(failed) / float64(sent)
+}
+
+// ComputedAvailability is 1 - ComputedErrorRate: the fraction of sent
+// requests that got a deliberate answer (200s — degraded included — plus
+// client-error rejections and 503 backpressure).
+func (e *ServeEntry) ComputedAvailability() float64 {
+	return 1 - e.ComputedErrorRate()
 }
 
 // ServeBench is the schema of BENCH_serve.json.

@@ -69,6 +69,35 @@ func TestAppendAndLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestComputedErrorRateAndAvailability(t *testing.T) {
+	cases := []struct {
+		name     string
+		counts   map[string]int64
+		wantRate float64
+	}{
+		{"all-ok", map[string]int64{"200": 100}, 0},
+		// 503 is deliberate backpressure, not a hard failure: it gates
+		// via ShedRate, never via the availability bar.
+		{"shed-only", map[string]int64{"200": 90, "503": 10}, 0},
+		{"client-errors", map[string]int64{"200": 90, "400": 10}, 0},
+		{"transport", map[string]int64{"200": 90, "0": 10}, 0.1},
+		{"server-5xx", map[string]int64{"200": 95, "500": 3, "502": 2}, 0.05},
+		// Client-side drops never left the loadgen; they are excluded
+		// from both numerator and denominator.
+		{"drops-excluded", map[string]int64{"200": 99, "0": 1, "dropped": 900}, 0.01},
+		{"empty", nil, 0},
+	}
+	for _, c := range cases {
+		e := ServeEntry{StatusCounts: c.counts}
+		if got := e.ComputedErrorRate(); math.Abs(got-c.wantRate) > 1e-12 {
+			t.Errorf("%s: error rate = %v, want %v", c.name, got, c.wantRate)
+		}
+		if got := e.ComputedAvailability(); math.Abs(got-(1-c.wantRate)) > 1e-12 {
+			t.Errorf("%s: availability = %v, want %v", c.name, got, 1-c.wantRate)
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
 	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {

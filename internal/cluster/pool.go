@@ -19,7 +19,33 @@ const (
 	// slightly sticky (a flapping replica shouldn't churn the ring).
 	DefaultFailAfter   = 3
 	DefaultReviveAfter = 2
+	// DefaultBreakerCooldown is how long an opened breaker rejects traffic
+	// before letting one half-open trial request through.
+	DefaultBreakerCooldown = 5 * time.Second
 )
+
+// breakerState is the per-replica circuit-breaker state. It moves in
+// lockstep with the health bit: closed ⇔ healthy; open and half-open are
+// both "ejected" as far as Route ordering is concerned.
+type breakerState int
+
+const (
+	brkClosed breakerState = iota
+	brkOpen
+	brkHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case brkClosed:
+		return "closed"
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("breakerState(%d)", int(s))
+}
 
 // PoolConfig configures replica membership.
 type PoolConfig struct {
@@ -44,39 +70,53 @@ type PoolConfig struct {
 	// means the defaults.
 	FailAfter   int
 	ReviveAfter int
+	// BreakerCooldown is how long an opened breaker stays fully open
+	// before Allow admits a single half-open trial; 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
 	// Logf reports membership transitions (ejections, re-admissions);
 	// nil discards them.
 	Logf func(format string, args ...any)
 }
 
-// replicaState tracks one member's health.
+// replicaState tracks one member's health and breaker state. The two
+// agree by construction: healthy is true exactly when brk == brkClosed.
 type replicaState struct {
 	url       string
 	healthy   bool
 	succ      int // consecutive probe successes
 	fail      int // consecutive probe failures (or reported ones)
 	lastError string
+
+	brk      breakerState
+	openedAt time.Time // when brk last entered brkOpen
+	trial    bool      // a half-open trial request is in flight
 }
 
 // ReplicaStatus is a point-in-time public view of one member.
 type ReplicaStatus struct {
 	URL       string `json:"url"`
 	Healthy   bool   `json:"healthy"`
+	Breaker   string `json:"breaker"`
 	LastError string `json:"last_error,omitempty"`
 }
 
 // Pool is the health-checked membership set: a fixed replica list, a
-// consistent-hash ring over all of it, and a health bit per replica that
-// probes flip. All methods are safe for concurrent use.
+// consistent-hash ring over all of it, and a health bit plus circuit
+// breaker per replica. Probes and request-path reports feed the same
+// state machine, so the breaker and the prober never disagree about a
+// replica. All methods are safe for concurrent use.
 type Pool struct {
 	cfg  PoolConfig
 	ring *Ring
+	now  func() time.Time // injectable for deterministic breaker tests
 
 	mu       sync.Mutex
 	replicas []*replicaState
 
 	ejections    int64
 	readmissions int64
+	breakerSkips int64
 }
 
 // NewPool validates the config and returns a pool with every replica
@@ -98,6 +138,9 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if cfg.ReviveAfter <= 0 {
 		cfg.ReviveAfter = DefaultReviveAfter
 	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = DefaultBreakerCooldown
+	}
 	if cfg.Client == nil {
 		cfg.Client = &http.Client{Timeout: cfg.ProbeTimeout}
 	}
@@ -108,9 +151,9 @@ func NewPool(cfg PoolConfig) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Pool{cfg: cfg, ring: ring}
+	p := &Pool{cfg: cfg, ring: ring, now: time.Now}
 	for _, u := range cfg.Replicas {
-		p.replicas = append(p.replicas, &replicaState{url: u, healthy: true})
+		p.replicas = append(p.replicas, &replicaState{url: u, healthy: true, brk: brkClosed})
 	}
 	return p, nil
 }
@@ -220,16 +263,32 @@ func (p *Pool) probeOne(ctx context.Context, baseURL string) error {
 	return nil
 }
 
-// failLocked and succeedLocked apply the consecutive-count thresholds.
-// Callers hold p.mu.
+// failLocked and succeedLocked apply the consecutive-count thresholds and
+// drive the breaker state machine. Callers hold p.mu.
 func (p *Pool) failLocked(r *replicaState, msg string) {
 	r.succ = 0
 	r.fail++
 	r.lastError = msg
-	if r.healthy && r.fail >= p.cfg.FailAfter {
-		r.healthy = false
-		p.ejections++
-		p.cfg.Logf("cluster: ejecting %s after %d consecutive failures (%s)", r.url, r.fail, msg)
+	r.trial = false
+	switch r.brk {
+	case brkClosed:
+		if r.fail >= p.cfg.FailAfter {
+			r.brk = brkOpen
+			r.openedAt = p.now()
+			r.healthy = false
+			p.ejections++
+			p.cfg.Logf("cluster: ejecting %s after %d consecutive failures, breaker open (%s)", r.url, r.fail, msg)
+		}
+	case brkHalfOpen:
+		// The trial (or a probe racing it) failed: back to open with a
+		// fresh cooldown.
+		r.brk = brkOpen
+		r.openedAt = p.now()
+		p.cfg.Logf("cluster: half-open trial for %s failed, breaker re-opened (%s)", r.url, msg)
+	case brkOpen:
+		// Failures while open (last-resort routing, probes) don't extend
+		// the cooldown: a replica that stays dark keeps failing probes
+		// and would otherwise never reach half-open.
 	}
 }
 
@@ -237,11 +296,96 @@ func (p *Pool) succeedLocked(r *replicaState) {
 	r.fail = 0
 	r.succ++
 	r.lastError = ""
-	if !r.healthy && r.succ >= p.cfg.ReviveAfter {
-		r.healthy = true
-		p.readmissions++
-		p.cfg.Logf("cluster: re-admitting %s after %d consecutive healthy probes", r.url, r.succ)
+	if r.brk != brkClosed && r.succ >= p.cfg.ReviveAfter {
+		p.closeLocked(r, fmt.Sprintf("%d consecutive healthy probes", r.succ))
 	}
+}
+
+// closeLocked re-admits a replica: breaker closed, healthy again.
+func (p *Pool) closeLocked(r *replicaState, why string) {
+	r.brk = brkClosed
+	r.healthy = true
+	r.trial = false
+	r.fail = 0
+	p.readmissions++
+	p.cfg.Logf("cluster: re-admitting %s, breaker closed (%s)", r.url, why)
+}
+
+// ReportSuccess records a request-path success against url. It resets the
+// passive failure streak, and a success on a half-open trial closes the
+// breaker immediately — real traffic is at least as strong a liveness
+// signal as a probe.
+func (p *Pool) ReportSuccess(url string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.replicas {
+		if r.url != url {
+			continue
+		}
+		r.fail = 0
+		if r.brk == brkHalfOpen {
+			p.closeLocked(r, "half-open trial succeeded")
+		}
+		return
+	}
+}
+
+// Allow reports whether a request may be forwarded to url right now.
+// Closed always admits. Open admits nothing until BreakerCooldown has
+// elapsed, at which point the breaker moves to half-open and this call
+// claims the single trial slot. Half-open admits exactly one in-flight
+// trial; the trial's ReportSuccess / ReportFailure decides what happens
+// next. Unknown URLs are allowed (the router's candidate lists only ever
+// contain pool members, so this is belt and braces).
+func (p *Pool) Allow(url string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.replicas {
+		if r.url != url {
+			continue
+		}
+		switch r.brk {
+		case brkClosed:
+			return true
+		case brkOpen:
+			if p.now().Sub(r.openedAt) >= p.cfg.BreakerCooldown {
+				r.brk = brkHalfOpen
+				r.trial = true
+				p.cfg.Logf("cluster: breaker for %s half-open, admitting trial request", r.url)
+				return true
+			}
+			p.breakerSkips++
+			return false
+		case brkHalfOpen:
+			if !r.trial {
+				r.trial = true
+				return true
+			}
+			p.breakerSkips++
+			return false
+		}
+	}
+	return true
+}
+
+// BreakerState returns url's breaker state string ("closed", "open",
+// "half-open"), or "" for an unknown URL.
+func (p *Pool) BreakerState(url string) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range p.replicas {
+		if r.url == url {
+			return r.brk.String()
+		}
+	}
+	return ""
+}
+
+// BreakerSkips returns how many forward attempts the breakers rejected.
+func (p *Pool) BreakerSkips() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.breakerSkips
 }
 
 // Start probes on the configured interval until ctx is cancelled. Run it
@@ -267,7 +411,7 @@ func (p *Pool) Status() []ReplicaStatus {
 	defer p.mu.Unlock()
 	out := make([]ReplicaStatus, len(p.replicas))
 	for i, r := range p.replicas {
-		out[i] = ReplicaStatus{URL: r.url, Healthy: r.healthy, LastError: r.lastError}
+		out[i] = ReplicaStatus{URL: r.url, Healthy: r.healthy, Breaker: r.brk.String(), LastError: r.lastError}
 	}
 	return out
 }

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,7 +21,19 @@ import (
 // Router defaults.
 const (
 	DefaultRouterTimeout = 60 * time.Second
-	routerMaxBodyBytes   = 1 << 20
+	// DefaultAttemptTimeout bounds one forward to one replica — well under
+	// the end-to-end Timeout, so a black-holed replica costs one attempt's
+	// worth of latency before failover instead of the whole budget.
+	DefaultAttemptTimeout = 10 * time.Second
+	// DefaultRetryBudget is how many re-forwards (beyond each bag's first
+	// attempt) one client request may spend across all its bags.
+	DefaultRetryBudget = 8
+	// DefaultRetryBaseDelay / DefaultRetryMaxDelay shape the jittered
+	// exponential backoff between retry rounds: base*2^round, capped at
+	// max, jittered uniformly over the upper half.
+	DefaultRetryBaseDelay = 25 * time.Millisecond
+	DefaultRetryMaxDelay  = 1 * time.Second
+	routerMaxBodyBytes    = 1 << 20
 )
 
 // RouterConfig configures the sharding router.
@@ -32,6 +46,25 @@ type RouterConfig struct {
 	// Timeout bounds one client request end-to-end across all forwards
 	// and retries; 0 means DefaultRouterTimeout.
 	Timeout time.Duration
+	// AttemptTimeout bounds a single forward to a single replica; 0 means
+	// DefaultAttemptTimeout. The remaining attempt budget is propagated to
+	// the replica in the X-Mapc-Deadline header.
+	AttemptTimeout time.Duration
+	// RetryBudget caps failed forward attempts (beyond each group's first
+	// try) per client request; 0 means DefaultRetryBudget. A hedge spends
+	// one unit too. When the budget runs out with bags still unanswered
+	// the request fails 502 instead of hammering a sick tier.
+	RetryBudget int
+	// RetryBaseDelay / RetryMaxDelay shape the backoff between retry
+	// rounds; 0 means the defaults.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// HedgeDelay, when positive, enables tail-latency hedging for
+	// single-bag requests: if the first replica hasn't answered within
+	// HedgeDelay, a second attempt is raced against it on the next
+	// candidate and the first answer wins. Each hedge spends one retry
+	// budget unit. 0 disables hedging.
+	HedgeDelay time.Duration
 	// Logf reports forwarding errors; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -57,6 +90,24 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultRouterTimeout
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = DefaultAttemptTimeout
+	}
+	if cfg.AttemptTimeout > cfg.Timeout {
+		cfg.AttemptTimeout = cfg.Timeout
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = DefaultRetryBudget
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = DefaultRetryBaseDelay
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = DefaultRetryMaxDelay
+	}
+	if cfg.RetryMaxDelay < cfg.RetryBaseDelay {
+		cfg.RetryMaxDelay = cfg.RetryBaseDelay
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
@@ -87,12 +138,38 @@ func writeJSON(w http.ResponseWriter, code int, v any) int {
 }
 
 // bagCall tracks one bag through forwarding: its original position, its
-// canonical key's candidate replicas, and how many have been tried.
+// canonical key's candidate replicas, and which have been tried.
 type bagCall struct {
 	index   int
 	members []serve.Member
 	cands   []string
-	attempt int
+	tried   []bool
+}
+
+func newBagCall(index int, members []serve.Member, cands []string) *bagCall {
+	return &bagCall{index: index, members: members, cands: cands, tried: make([]bool, len(cands))}
+}
+
+// pick returns the next replica to try for this bag: the first untried
+// candidate the breaker admits. When every untried candidate is
+// breaker-rejected it falls back to the first untried one regardless — a
+// tier whose breakers are all open degrades to the old try-everything
+// behavior instead of turning a cooldown window into a total outage.
+// Returns false when every candidate has been tried.
+func (c *bagCall) pick(pool *Pool) (string, bool) {
+	for i, cand := range c.cands {
+		if !c.tried[i] && pool.Allow(cand) {
+			c.tried[i] = true
+			return cand, true
+		}
+	}
+	for i, cand := range c.cands {
+		if !c.tried[i] {
+			c.tried[i] = true
+			return cand, true
+		}
+	}
+	return "", false
 }
 
 // forwardError is a sub-batch outcome that should be propagated to the
@@ -134,30 +211,32 @@ func (rt *Router) servePredict(w http.ResponseWriter, r *http.Request) int {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.Timeout)
 	defer cancel()
 
+	degradedOK := r.Header.Get(serve.HeaderDegradedOK)
 	calls := make([]*bagCall, len(bags))
 	for i, ms := range bags {
-		calls[i] = &bagCall{index: i, members: ms, cands: rt.pool.Route(serve.CanonicalKey(ms))}
+		calls[i] = newBagCall(i, ms, rt.pool.Route(serve.CanonicalKey(ms)))
+	}
+
+	if len(calls) == 1 && rt.cfg.HedgeDelay > 0 {
+		return rt.servePredictHedged(ctx, w, calls[0], degradedOK)
 	}
 
 	results := make([]serve.BagResult, len(bags))
 	scheme := ""
+	degraded := false
+	budget := rt.cfg.RetryBudget
+	round := 0
 	pending := calls
 	for len(pending) > 0 {
 		// Group this round's bags by the replica each should try next.
 		groups := make(map[string][]*bagCall)
-		var exhausted *bagCall
 		for _, c := range pending {
-			if c.attempt >= len(c.cands) {
-				exhausted = c
-				break
+			replica, ok := c.pick(rt.pool)
+			if !ok {
+				return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+					Error: fmt.Sprintf("bag %d: every replica failed; last candidate list %v", c.index, c.cands)})
 			}
-			replica := c.cands[c.attempt]
-			c.attempt++
 			groups[replica] = append(groups[replica], c)
-		}
-		if exhausted != nil {
-			return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
-				Error: fmt.Sprintf("bag %d: every replica failed; last candidate list %v", exhausted.index, exhausted.cands)})
 		}
 
 		// Forward the groups concurrently; collect per-group outcomes.
@@ -178,7 +257,7 @@ func (rt *Router) servePredict(w http.ResponseWriter, r *http.Request) int {
 			wg.Add(1)
 			go func(i int, rep string) {
 				defer wg.Done()
-				resp, ferr, netErr := rt.forward(ctx, rep, groups[rep])
+				resp, ferr, netErr := rt.forward(ctx, rep, groups[rep], degradedOK)
 				outcomes[i] = outcome{replica: rep, resp: resp, ferr: ferr, netErr: netErr}
 			}(i, rep)
 		}
@@ -187,46 +266,223 @@ func (rt *Router) servePredict(w http.ResponseWriter, r *http.Request) int {
 		pending = pending[:0]
 		for _, o := range outcomes {
 			group := groups[o.replica]
+			retryErr := o.netErr
+			if retryErr == nil && o.ferr != nil && o.ferr.status >= 500 && o.ferr.status != http.StatusServiceUnavailable {
+				// A non-503 5xx (replica panic, injected fault) is
+				// replica-specific, not bag-specific: another candidate may
+				// well answer. Treat it like a transport failure.
+				retryErr = fmt.Errorf("replica answered %d: %s", o.ferr.status, o.ferr.body.Error)
+			}
 			switch {
-			case o.netErr != nil:
-				// Transport failure: report to the pool (passive ejection)
-				// and retry every bag in the group at its next candidate.
-				rt.pool.ReportFailure(o.replica, o.netErr)
+			case retryErr != nil:
+				// Transport-class failure: report to the pool (passive
+				// ejection + breaker) and retry every bag in the group at
+				// its next candidate, spending retry budget.
+				rt.pool.ReportFailure(o.replica, retryErr)
 				rt.metrics.retries.Add(int64(len(group)))
-				rt.cfg.Logf("cluster: forward to %s failed (%v); retrying %d bag(s)", o.replica, o.netErr, len(group))
+				rt.cfg.Logf("cluster: forward to %s failed (%v); retrying %d bag(s)", o.replica, retryErr, len(group))
+				// One failed forward spends one budget unit regardless of
+				// how many bags rode in it: the cost to the tier is per
+				// HTTP attempt, and a single sick replica must not burn a
+				// large batch's whole budget in one round.
+				if budget < 1 {
+					rt.metrics.budgetExhausted.Add(1)
+					return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+						Error: fmt.Sprintf("retry budget (%d) exhausted; last error from %s: %v", rt.cfg.RetryBudget, o.replica, retryErr)})
+				}
+				budget--
 				pending = append(pending, group...)
 			case o.ferr != nil:
-				// The replica answered an HTTP error: propagate it as-is —
-				// a 400 means the bag itself is invalid everywhere, a 503
-				// means the owner is shedding (the client's backpressure
-				// signal; rerouting would defeat admission control).
+				// The replica answered a client-class HTTP error or a 503:
+				// propagate it as-is — a 400 means the bag itself is
+				// invalid everywhere, a 503 means the owner is shedding
+				// (the client's backpressure signal; rerouting would defeat
+				// admission control).
+				rt.pool.ReportSuccess(o.replica)
 				if o.ferr.retryAfter != "" {
 					w.Header().Set("Retry-After", o.ferr.retryAfter)
 				}
 				return writeJSON(w, o.ferr.status, o.ferr.body)
 			default:
+				rt.pool.ReportSuccess(o.replica)
 				if scheme == "" {
 					scheme = o.resp.ModelScheme
 				} else if scheme != o.resp.ModelScheme {
 					return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
 						Error: fmt.Sprintf("replicas disagree on the model scheme (%q vs %q); the tier is misconfigured", scheme, o.resp.ModelScheme)})
 				}
+				degraded = degraded || o.resp.Degraded
 				for j, br := range o.resp.Results {
 					results[group[j].index] = br
 				}
 				rt.metrics.forwarded(o.replica, len(group))
 			}
 		}
+
+		if len(pending) > 0 {
+			if err := rt.backoff(ctx, round); err != nil {
+				return writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{
+					Error: fmt.Sprintf("request deadline (%s) exceeded during retry backoff", rt.cfg.Timeout)})
+			}
+			round++
+		}
 	}
 
 	rt.metrics.bags.Add(int64(len(results)))
-	return writeJSON(w, http.StatusOK, serve.PredictResponse{ModelScheme: scheme, Results: results})
+	if degraded {
+		w.Header().Set(serve.HeaderDegraded, "1")
+	}
+	return writeJSON(w, http.StatusOK, serve.PredictResponse{ModelScheme: scheme, Results: results, Degraded: degraded})
 }
 
-// forward posts one sub-batch to one replica. Returns exactly one of:
-// the decoded response (len(Results) == len(group) guaranteed), a
-// forwardError to propagate, or a transport error to retry.
-func (rt *Router) forward(ctx context.Context, baseURL string, group []*bagCall) (*serve.PredictResponse, *forwardError, error) {
+// backoff sleeps the jittered exponential retry delay for round:
+// base*2^round capped at max, jittered uniformly over [d/2, d]. Returns
+// ctx's error if the deadline lands first.
+func (rt *Router) backoff(ctx context.Context, round int) error {
+	d := rt.cfg.RetryBaseDelay << uint(round)
+	if d <= 0 || d > rt.cfg.RetryMaxDelay {
+		d = rt.cfg.RetryMaxDelay
+	}
+	half := int64(d / 2)
+	jittered := time.Duration(half + rand.Int63n(half+1))
+	t := time.NewTimer(jittered)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// servePredictHedged handles a single-bag request with tail-latency
+// hedging: the first attempt races a delayed second attempt on the next
+// candidate, first answer wins, losers are cancelled. Hedges and retries
+// share the request's retry budget.
+func (rt *Router) servePredictHedged(ctx context.Context, w http.ResponseWriter, c *bagCall, degradedOK string) int {
+	type attempt struct {
+		replica string
+		resp    *serve.PredictResponse
+		ferr    *forwardError
+		netErr  error
+	}
+	resCh := make(chan attempt, len(c.cands))
+	var cancels []context.CancelFunc
+	defer func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}()
+
+	budget := rt.cfg.RetryBudget
+	inflight := 0
+	launch := func(rep string) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels = append(cancels, cancel)
+		inflight++
+		go func() {
+			resp, ferr, netErr := rt.forward(actx, rep, []*bagCall{c}, degradedOK)
+			resCh <- attempt{replica: rep, resp: resp, ferr: ferr, netErr: netErr}
+		}()
+	}
+
+	first, ok := c.pick(rt.pool)
+	if !ok {
+		return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+			Error: fmt.Sprintf("bag 0: every replica failed; last candidate list %v", c.cands)})
+	}
+	launch(first)
+	hedgeTimer := time.NewTimer(rt.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+	hedgeArmed := true
+	round := 0
+
+	for {
+		select {
+		case <-ctx.Done():
+			return writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{
+				Error: fmt.Sprintf("request deadline (%s) exceeded", rt.cfg.Timeout)})
+		case <-hedgeTimer.C:
+			hedgeArmed = false
+			if budget >= 1 {
+				if rep, ok := c.pick(rt.pool); ok {
+					budget--
+					rt.metrics.hedges.Add(1)
+					rt.cfg.Logf("cluster: hedging bag to %s after %s", rep, rt.cfg.HedgeDelay)
+					launch(rep)
+					continue
+				}
+			}
+			if inflight == 0 {
+				// The first attempt already failed and the hedge can't
+				// launch: nothing can answer anymore.
+				rt.metrics.budgetExhausted.Add(1)
+				return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+					Error: fmt.Sprintf("retry budget (%d) or candidate list exhausted for bag 0 (%v)", rt.cfg.RetryBudget, c.cands)})
+			}
+		case a := <-resCh:
+			inflight--
+			retryErr := a.netErr
+			if retryErr == nil && a.ferr != nil && a.ferr.status >= 500 && a.ferr.status != http.StatusServiceUnavailable {
+				retryErr = fmt.Errorf("replica answered %d: %s", a.ferr.status, a.ferr.body.Error)
+			}
+			switch {
+			case retryErr != nil:
+				rt.pool.ReportFailure(a.replica, retryErr)
+				rt.metrics.retries.Add(1)
+				rt.cfg.Logf("cluster: forward to %s failed (%v)", a.replica, retryErr)
+				if inflight > 0 || hedgeArmed {
+					// The race partner (or the armed hedge timer) can still
+					// answer; don't spend budget yet.
+					continue
+				}
+				if budget < 1 {
+					rt.metrics.budgetExhausted.Add(1)
+					return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+						Error: fmt.Sprintf("retry budget (%d) exhausted; last error from %s: %v", rt.cfg.RetryBudget, a.replica, retryErr)})
+				}
+				rep, ok := c.pick(rt.pool)
+				if !ok {
+					return writeJSON(w, http.StatusBadGateway, serve.ErrorResponse{
+						Error: fmt.Sprintf("bag 0: every replica failed; last candidate list %v", c.cands)})
+				}
+				budget--
+				if err := rt.backoff(ctx, round); err != nil {
+					return writeJSON(w, http.StatusGatewayTimeout, serve.ErrorResponse{
+						Error: fmt.Sprintf("request deadline (%s) exceeded during retry backoff", rt.cfg.Timeout)})
+				}
+				round++
+				launch(rep)
+			case a.ferr != nil:
+				rt.pool.ReportSuccess(a.replica)
+				if a.ferr.retryAfter != "" {
+					w.Header().Set("Retry-After", a.ferr.retryAfter)
+				}
+				return writeJSON(w, a.ferr.status, a.ferr.body)
+			default:
+				rt.pool.ReportSuccess(a.replica)
+				if a.replica != first {
+					rt.metrics.hedgeWins.Add(1)
+				}
+				rt.metrics.forwarded(a.replica, 1)
+				rt.metrics.bags.Add(1)
+				if a.resp.Degraded {
+					w.Header().Set(serve.HeaderDegraded, "1")
+				}
+				return writeJSON(w, http.StatusOK, serve.PredictResponse{
+					ModelScheme: a.resp.ModelScheme, Results: a.resp.Results, Degraded: a.resp.Degraded})
+			}
+		}
+	}
+}
+
+// forward posts one sub-batch to one replica, bounded by the per-attempt
+// timeout, propagating the remaining budget in X-Mapc-Deadline. Returns
+// exactly one of: the decoded response (len(Results) == len(group)
+// guaranteed), a forwardError to propagate, or a transport error to retry.
+func (rt *Router) forward(ctx context.Context, baseURL string, group []*bagCall, degradedOK string) (*serve.PredictResponse, *forwardError, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
 	sub := serve.PredictRequest{Bags: make([]serve.Bag, len(group))}
 	for i, c := range group {
 		sub.Bags[i] = serve.Bag{Members: c.members}
@@ -240,6 +496,16 @@ func (rt *Router) forward(ctx context.Context, baseURL string, group []*bagCall)
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(serve.HeaderDeadline, strconv.FormatInt(ms, 10))
+	}
+	if degradedOK != "" {
+		req.Header.Set(serve.HeaderDegradedOK, degradedOK)
+	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		return nil, nil, err
@@ -313,8 +579,11 @@ type routerMetrics struct {
 	latSum   float64
 	latN     int64
 
-	bags    atomic.Int64
-	retries atomic.Int64
+	bags            atomic.Int64
+	retries         atomic.Int64
+	hedges          atomic.Int64
+	hedgeWins       atomic.Int64
+	budgetExhausted atomic.Int64
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -365,6 +634,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.mu.Unlock()
 	fmt.Fprintf(w, "mapc_router_bags_total %d\n", m.bags.Load())
 	fmt.Fprintf(w, "mapc_router_retries_total %d\n", m.retries.Load())
+	fmt.Fprintf(w, "mapc_router_hedges_total %d\n", m.hedges.Load())
+	fmt.Fprintf(w, "mapc_router_hedge_wins_total %d\n", m.hedgeWins.Load())
+	fmt.Fprintf(w, "mapc_router_budget_exhausted_total %d\n", m.budgetExhausted.Load())
+	fmt.Fprintf(w, "mapc_router_breaker_skips_total %d\n", rt.pool.BreakerSkips())
 	fmt.Fprintf(w, "mapc_router_replicas_healthy %d\n", rt.pool.HealthyCount())
 	fmt.Fprintf(w, "mapc_router_ejections_total %d\n", rt.pool.Ejections())
 	fmt.Fprintf(w, "mapc_router_readmissions_total %d\n", rt.pool.Readmissions())

@@ -256,10 +256,17 @@ func (g *Generator) FidelityStats() FidelityStats {
 
 // countFidelity tallies one contended co-run's tier outcome.
 func (g *Generator) countFidelity(usedExact bool) {
+	g.countFidelityAs(g.cfg.Fidelity, usedExact)
+}
+
+// countFidelityAs is countFidelity with an explicit requested tier, for
+// per-call fidelity overrides (serve's brownout path asks for fast on a
+// generator configured exact).
+func (g *Generator) countFidelityAs(fid phasesum.Fidelity, usedExact bool) {
 	switch {
 	case !usedExact:
 		g.analyticRuns.Add(1)
-	case g.cfg.Fidelity.Analytic():
+	case fid.Analytic():
 		g.exactFallbacks.Add(1)
 	default:
 		g.exactRuns.Add(1)
@@ -447,6 +454,13 @@ func bagLabel(ms []bagMember) string {
 // bagFairness runs the co-scheduled CPU simulation over the canonical bag
 // and reduces it to the fairness metric (Equation 2), capped at 1.
 func (g *Generator) bagFairness(ms []bagMember) (float64, error) {
+	return g.bagFairnessAs(ms, g.cfg.Fidelity)
+}
+
+// bagFairnessAs is bagFairness with a per-call fidelity tier: the shared
+// co-run switches tier while the isolated measurements (already memoized
+// per member) stay exact, which is what anchors the analytic model.
+func (g *Generator) bagFairnessAs(ms []bagMember, fid phasesum.Fidelity) (float64, error) {
 	// The cached workloads are passed directly: the simulators are
 	// read-only on their inputs (contract documented on cpusim.App and
 	// gpusim.Run, enforced by the mutation-guard tests), so per-point
@@ -455,11 +469,11 @@ func (g *Generator) bagFairness(ms []bagMember) (float64, error) {
 	for i := range ms {
 		apps[i] = cpusim.App{Workload: ms[i].mm.workload, Threads: g.cfg.Threads}
 	}
-	cpuShared, usedExact, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, g.cfg.Fidelity)
+	cpuShared, usedExact, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, fid)
 	if err != nil {
 		return 0, fmt.Errorf("dataset: shared CPU run %s: %w", bagLabel(ms), err)
 	}
-	g.countFidelity(usedExact)
+	g.countFidelityAs(fid, usedExact)
 	perf := make([]perfmon.AppPerf, len(ms))
 	for i := range ms {
 		perf[i] = perfmon.AppPerf{IPCAlone: ms[i].mm.cpu.IPC, IPCShared: cpuShared[i].IPC}
@@ -500,6 +514,31 @@ func (g *Generator) BagFeatures(bag []Member) (x []float64, fairness float64, er
 		return nil, 0, err
 	}
 	fairness, err = g.bagFairness(ms)
+	if err != nil {
+		return nil, 0, err
+	}
+	x, err = features.BagVector(bagApps(ms), fairness)
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, fairness, nil
+}
+
+// BagFeaturesFidelity is BagFeatures with a per-call fidelity override:
+// serve's brownout path answers from the fast analytic tier on a generator
+// configured for exact simulation, without touching the generator's
+// configured fidelity (or any other caller's view of it). Isolated
+// per-member measurements are shared with the exact path — only the
+// contended co-run switches tier.
+func (g *Generator) BagFeaturesFidelity(bag []Member, fid phasesum.Fidelity) (x []float64, fairness float64, err error) {
+	if !fid.Valid() {
+		return nil, 0, fmt.Errorf("dataset: unknown fidelity %q (want exact, mixed or fast)", string(fid))
+	}
+	ms, err := g.measureBag(bag)
+	if err != nil {
+		return nil, 0, err
+	}
+	fairness, err = g.bagFairnessAs(ms, fid)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -58,6 +58,17 @@ const (
 	// writer sites (the dataset journal) truncate the record mid-write and
 	// abort, simulating a crash between write and fsync.
 	KindTornWrite
+	// KindBlackhole makes a network site hang until the request context is
+	// cancelled: no bytes, no RST, exactly like a silently dropped route.
+	// Only meaningful on Transport sites.
+	KindBlackhole
+	// KindHTTPError makes a Transport site answer with a synthesized HTTP
+	// error response (status Fault.Code, default 500) without forwarding.
+	KindHTTPError
+	// KindTruncateBody makes a Transport site forward the request but cut
+	// the response body off after Fault.KeepBytes bytes, so the client sees
+	// an unexpected EOF mid-decode.
+	KindTruncateBody
 )
 
 func (k Kind) String() string {
@@ -70,6 +81,12 @@ func (k Kind) String() string {
 		return "delay"
 	case KindTornWrite:
 		return "torn-write"
+	case KindBlackhole:
+		return "blackhole"
+	case KindHTTPError:
+		return "http-error"
+	case KindTruncateBody:
+		return "truncate-body"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -83,19 +100,41 @@ type Fault struct {
 	Site string
 	// Index is the call index to fire at; AnyIndex matches all.
 	Index int
+	// From narrows an AnyIndex fault to indices >= From: "from call N
+	// onward", the shape of a replica that goes dark mid-run. Zero keeps
+	// the historical match-everything behavior; From is ignored when Index
+	// names a single call.
+	From int
 	// Kind selects the fault class.
 	Kind Kind
 	// Delay is the sleep for KindDelay.
 	Delay time.Duration
 	// KeepBytes is, for KindTornWrite, how many bytes of the record the
 	// writer keeps before "crashing" (0 tears the record off entirely).
+	// For KindTruncateBody it is how many response-body bytes survive.
 	KeepBytes int
+	// Code is the status for KindHTTPError responses (0 means 500).
+	Code int
 	// Once limits the fault to its first match; false fires on every
 	// matching call (useful with AnyIndex delays).
 	Once bool
 }
 
+// matches reports whether the fault covers call index at site.
+func (f Fault) matches(site string, index int) bool {
+	if f.Site != site {
+		return false
+	}
+	if f.Index != AnyIndex {
+		return f.Index == index
+	}
+	return index >= f.From
+}
+
 func (f Fault) String() string {
+	if f.Index == AnyIndex && f.From > 0 {
+		return fmt.Sprintf("%s@%s[%d+]", f.Kind, f.Site, f.From)
+	}
 	return fmt.Sprintf("%s@%s[%d]", f.Kind, f.Site, f.Index)
 }
 
@@ -140,49 +179,64 @@ func (t *TornWrite) Error() string {
 	return fmt.Sprintf("faultinject: injected torn write at %s[%d] (keeping %d bytes)", t.Site, t.Index, t.KeepBytes)
 }
 
-// injector is the standard Injector: a Plan plus fired-once bookkeeping.
-type injector struct {
+// matcher is the shared plan state: faults plus fired-once bookkeeping.
+// Both the standard injector and the chaos Transport resolve (site, index)
+// through it; the caller acts on the returned faults outside the lock.
+type matcher struct {
 	mu     sync.Mutex
 	faults []Fault
 	fired  []bool
 }
 
-// New returns an Injector executing plan. The plan is copied; mutating it
-// afterwards does not affect the injector.
-func New(plan Plan) Injector {
-	return &injector{
+func newMatcher(plan Plan) *matcher {
+	return &matcher{
 		faults: append([]Fault(nil), plan.Faults...),
 		fired:  make([]bool, len(plan.Faults)),
 	}
 }
 
-// At implements Injector: scan the plan in order, apply every matching
-// delay, and return/panic on the first matching terminal fault.
-func (in *injector) At(site string, index int) error {
-	// Collect matches under the lock, act outside it: KindDelay sleeps and
-	// KindPanic unwinds, neither of which may hold the mutex.
-	var terminal *Fault
-	var delays []time.Duration
-	in.mu.Lock()
-	for i := range in.faults {
-		f := &in.faults[i]
-		if f.Site != site || (f.Index != AnyIndex && f.Index != index) {
+// match scans the plan in order, collecting every matching delay and the
+// first matching terminal fault. The returned *Fault aliases the matcher's
+// copy and must be treated as read-only.
+func (m *matcher) match(site string, index int) (terminal *Fault, delays []time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.faults {
+		f := &m.faults[i]
+		if !f.matches(site, index) {
 			continue
 		}
-		if f.Once && in.fired[i] {
+		if f.Once && m.fired[i] {
 			continue
 		}
 		if f.Kind == KindDelay {
-			in.fired[i] = true
+			m.fired[i] = true
 			delays = append(delays, f.Delay)
 			continue
 		}
-		in.fired[i] = true
-		terminal = f
-		break
+		m.fired[i] = true
+		return f, delays
 	}
-	in.mu.Unlock()
+	return nil, delays
+}
 
+// injector is the standard Injector: a Plan plus fired-once bookkeeping.
+type injector struct {
+	plan *matcher
+}
+
+// New returns an Injector executing plan. The plan is copied; mutating it
+// afterwards does not affect the injector.
+func New(plan Plan) Injector {
+	return &injector{plan: newMatcher(plan)}
+}
+
+// At implements Injector: scan the plan in order, apply every matching
+// delay, and return/panic on the first matching terminal fault.
+func (in *injector) At(site string, index int) error {
+	// Matches are collected under the matcher's lock and acted on here:
+	// KindDelay sleeps and KindPanic unwinds, neither of which may hold it.
+	terminal, delays := in.plan.match(site, index)
 	for _, d := range delays {
 		time.Sleep(d)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"mapc/internal/dataset"
+	"mapc/internal/phasesum"
 	"mapc/internal/simcache"
 )
 
@@ -17,8 +18,13 @@ import (
 const DefaultFeatureCacheMB = 64
 
 // featureDomain namespaces feature-cache keys inside the shared
-// simcache.Key space.
-const featureDomain = "serve/features"
+// simcache.Key space. degradedDomain holds the brownout fast-tier
+// entries: a separate namespace so an analytic answer can never be
+// returned to (or snapshotted for) an exact-tier request.
+const (
+	featureDomain  = "serve/features"
+	degradedDomain = "serve/features/fast"
+)
 
 // recoveredPanic is a panic caught inside the feature cache's compute
 // path, converted to an error so a crashing measurement answers one 500
@@ -67,6 +73,10 @@ func (v *featureValue) sizeBytes(key string) int64 {
 // miss on a new combination of known members only pays for the shared run.
 type featureCache struct {
 	compute func(bag []dataset.Member) ([]float64, float64, error)
+	// computeFast is the brownout miss path: the generator's fast
+	// analytic fidelity tier. Nil when the cache was built without a
+	// generator (stub tests); getDegraded then falls back to compute.
+	computeFast func(bag []dataset.Member) ([]float64, float64, error)
 	// canonical collapses every permutation of a bag's members into one
 	// entry. Only safe when the generator's CanonicalOrder sorts members
 	// itself, making BagFeatures permutation-invariant.
@@ -88,7 +98,10 @@ func newFeatureCache(gen *dataset.Generator, budgetMB int) *featureCache {
 		budgetMB = DefaultFeatureCacheMB
 	}
 	return &featureCache{
-		compute:   gen.BagFeatures,
+		compute: gen.BagFeatures,
+		computeFast: func(bag []dataset.Member) ([]float64, float64, error) {
+			return gen.BagFeaturesFidelity(bag, phasesum.Fast)
+		},
 		canonical: gen.Config().CanonicalOrder,
 		lru:       simcache.MustNew(int64(budgetMB) << 20),
 	}
@@ -123,6 +136,11 @@ func cacheKey(bagKey string) simcache.Key {
 	return simcache.Key{Domain: featureDomain, Config: bagKey}
 }
 
+// degradedKey is cacheKey in the fast-tier namespace.
+func degradedKey(bagKey string) simcache.Key {
+	return simcache.Key{Domain: degradedDomain, Config: bagKey}
+}
+
 // get returns the bag's raw feature vector and fairness, computing them at
 // most once per resident generation. hit reports whether a *published*
 // entry answered immediately: a request that joined an in-progress first
@@ -137,9 +155,24 @@ func cacheKey(bagKey string) simcache.Key {
 // the panicking bag costs exactly one 500 (plus the same error for any
 // waiter that shared the slot).
 func (c *featureCache) get(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error) {
+	return c.lookup(bag, false)
+}
+
+// getDegraded is get for the brownout fast tier: same singleflight and LRU
+// discipline, separate key namespace, no peer fill (peers publish only
+// exact entries), analytic compute path.
+func (c *featureCache) getDegraded(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error) {
+	return c.lookup(bag, true)
+}
+
+func (c *featureCache) lookup(bag []dataset.Member, degraded bool) (x []float64, fairness float64, hit bool, err error) {
 	k, canon := c.key(bag)
-	v, outcome, err := c.lru.Lookup(cacheKey(k), func() (any, int64, error) {
-		fv, err := c.computeValue(k, canon)
+	key := cacheKey(k)
+	if degraded {
+		key = degradedKey(k)
+	}
+	v, outcome, err := c.lru.Lookup(key, func() (any, int64, error) {
+		fv, err := c.computeValue(k, canon, degraded)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -152,20 +185,26 @@ func (c *featureCache) get(bag []dataset.Member) (x []float64, fairness float64,
 	return fv.x, fv.fairness, outcome == simcache.OutcomeHit, nil
 }
 
-// computeValue runs the miss path — peer fill first, local simulation as
-// the fallback — with panics recovered into *recoveredPanic.
-func (c *featureCache) computeValue(key string, canon []dataset.Member) (fv *featureValue, err error) {
+// computeValue runs the miss path — peer fill first (exact tier only),
+// local simulation as the fallback — with panics recovered into
+// *recoveredPanic.
+func (c *featureCache) computeValue(key string, canon []dataset.Member, degraded bool) (fv *featureValue, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			fv, err = nil, &recoveredPanic{Value: r, Stack: debug.Stack()}
 		}
 	}()
-	if c.fill != nil {
+	compute := c.compute
+	if degraded {
+		if c.computeFast != nil {
+			compute = c.computeFast
+		}
+	} else if c.fill != nil {
 		if x, fairness, ok := c.fill(key); ok {
 			return &featureValue{x: x, fairness: fairness}, nil
 		}
 	}
-	x, fairness, err := c.compute(canon)
+	x, fairness, err := compute(canon)
 	if err != nil {
 		return nil, err
 	}
@@ -189,10 +228,15 @@ func (c *featureCache) seed(bagKey string, x []float64, fairness float64) bool {
 	return c.lru.Seed(cacheKey(bagKey), fv, fv.sizeBytes(bagKey))
 }
 
-// entries lists the published entries MRU-first (the snapshot body).
+// entries lists the published exact-tier entries MRU-first (the snapshot
+// body). Degraded fast-tier entries are deliberately excluded: snapshots
+// and peer fills must only ever carry exact features.
 func (c *featureCache) entries() []SnapshotEntry {
 	var out []SnapshotEntry
 	c.lru.Items(func(key simcache.Key, val any, _ int64) bool {
+		if key.Domain != featureDomain {
+			return true
+		}
 		if fv, ok := val.(*featureValue); ok {
 			out = append(out, SnapshotEntry{Key: key.Config, X: fv.x, Fairness: fv.fairness})
 		}

@@ -34,6 +34,11 @@ type Metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	// degraded counts brownout answers (served from the fast fidelity
+	// tier); degradedInFlight gauges currently-admitted degraded requests.
+	degraded         atomic.Int64
+	degradedInFlight atomic.Int64
+
 	// peerFill counts miss-path consultations of sibling replicas: hits
 	// skipped a local simulation entirely, misses fell through to it.
 	peerFillHits   atomic.Int64
@@ -148,6 +153,15 @@ func (m *Metrics) RejectSaturated()  { m.rejected.saturated.Add(1) }
 func (m *Metrics) RejectTimeout()    { m.rejected.timeout.Add(1) }
 func (m *Metrics) RejectValidation() { m.rejected.validation.Add(1) }
 
+// Degraded records one brownout answer; the gauge pair tracks admitted
+// degraded requests in flight.
+func (m *Metrics) Degraded()            { m.degraded.Add(1) }
+func (m *Metrics) IncDegradedInFlight() { m.degradedInFlight.Add(1) }
+func (m *Metrics) DecDegradedInFlight() { m.degradedInFlight.Add(-1) }
+
+// DegradedTotal returns how many answers came from the fast tier.
+func (m *Metrics) DegradedTotal() int64 { return m.degraded.Load() }
+
 // SetSimCacheSource installs the snapshot function behind the
 // mapc_simcache_* metrics (typically dataset.Generator.SimCacheStats).
 // Call before serving begins; the source itself must be concurrency-safe.
@@ -241,6 +255,8 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		{`mapc_rejected_total{reason="timeout"}`, m.rejected.timeout.Load()},
 		{`mapc_rejected_total{reason="validation"}`, m.rejected.validation.Load()},
 		{"mapc_serve_panics_total", m.panics.Load()},
+		{"mapc_degraded_total", m.degraded.Load()},
+		{"mapc_degraded_inflight", m.degradedInFlight.Load()},
 		{"mapc_feature_cache_hits_total", hits},
 		{"mapc_feature_cache_misses_total", misses},
 		{"mapc_feature_cache_hit_ratio", m.CacheHitRate()},

@@ -33,6 +33,7 @@ import (
 	"net"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -49,6 +50,14 @@ const (
 	DefaultMaxInFlight    = 64
 	DefaultMaxBatch       = 64
 	DefaultRequestTimeout = 30 * time.Second
+	// DefaultBrownoutWatermark is the in-flight fraction of MaxInFlight at
+	// which fresh admissions start answering from the fast fidelity tier.
+	DefaultBrownoutWatermark = 0.75
+	// DefaultDegradedMultiplier sizes the degraded admission pool relative
+	// to MaxInFlight: fast-tier answers are ~250x cheaper than exact
+	// simulation, so the brownout tier can admit well past the exact cap
+	// before shedding.
+	DefaultDegradedMultiplier = 4
 	// maxBodyBytes bounds request bodies; a MaxBatch bag list is well
 	// under 1 MiB.
 	maxBodyBytes = 1 << 20
@@ -82,6 +91,19 @@ type Config struct {
 	// DefaultFeatureCacheMB; negative values are rejected — the cache is
 	// also the singleflight layer, so it cannot be disabled.
 	FeatureCacheMB int
+	// BrownoutWatermark is the in-flight fraction of MaxInFlight at which
+	// new admissions answer from the fast fidelity tier instead of
+	// shedding ("degraded": true in the response). 0 disables brownout
+	// (the legacy shed-only admission, and the backward-compatible
+	// default); values in (0, 1] enable it — mapc-serve defaults its flag
+	// to DefaultBrownoutWatermark. Negative values and values above 1 are
+	// rejected.
+	BrownoutWatermark float64
+	// MaxDegradedInFlight bounds the extra degraded-admission pool used
+	// once the exact pool saturates; only past both pools does the server
+	// shed 503. 0 means DefaultDegradedMultiplier*MaxInFlight; negative is
+	// rejected. Ignored when brownout is disabled.
+	MaxDegradedInFlight int
 }
 
 // Server is the HTTP prediction service. Create with New; all methods are
@@ -95,8 +117,17 @@ type Server struct {
 	trainedK int
 	// featuresFn resolves a bag to its raw feature vector; defaults to the
 	// shared cache and is swappable in tests (e.g. to inject slowness).
+	// degradedFn is its brownout counterpart: the fast fidelity tier in a
+	// separate cache namespace.
 	featuresFn func(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error)
+	degradedFn func(bag []dataset.Member) (x []float64, fairness float64, hit bool, err error)
 	inflight   chan struct{}
+	// degradedSlots is the brownout admission pool, sized past MaxInFlight
+	// because fast-tier answers are orders of magnitude cheaper; nil when
+	// brownout is disabled. watermark is the in-flight count at which
+	// fresh admissions degrade.
+	degradedSlots chan struct{}
+	watermark     int
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -132,12 +163,28 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: negative feature cache budget %d MB (0 means the %d MB default; the cache cannot be disabled)",
 			cfg.FeatureCacheMB, DefaultFeatureCacheMB)
 	}
+	if cfg.BrownoutWatermark > 1 || cfg.BrownoutWatermark < 0 {
+		return nil, fmt.Errorf("serve: brownout watermark %g outside [0, 1] (a fraction of MaxInFlight; 0 disables brownout)", cfg.BrownoutWatermark)
+	}
+	if cfg.MaxDegradedInFlight < 0 {
+		return nil, fmt.Errorf("serve: negative degraded in-flight bound %d (0 means %d×MaxInFlight)", cfg.MaxDegradedInFlight, DefaultDegradedMultiplier)
+	}
+	if cfg.MaxDegradedInFlight == 0 {
+		cfg.MaxDegradedInFlight = DefaultDegradedMultiplier * cfg.MaxInFlight
+	}
 	s := &Server{
 		cfg:      cfg,
 		metrics:  NewMetrics(),
 		cache:    newFeatureCache(cfg.Generator, cfg.FeatureCacheMB),
 		trainedK: trainedK,
 		inflight: make(chan struct{}, cfg.MaxInFlight),
+	}
+	if cfg.BrownoutWatermark > 0 {
+		s.degradedSlots = make(chan struct{}, cfg.MaxDegradedInFlight)
+		s.watermark = int(cfg.BrownoutWatermark * float64(cfg.MaxInFlight))
+		if s.watermark < 1 {
+			s.watermark = 1
+		}
 	}
 	// /metrics reports the generator's simulation-memo counters alongside
 	// the request-level feature cache: the feature cache dedupes repeated
@@ -147,6 +194,7 @@ func New(cfg Config) (*Server, error) {
 	s.metrics.SetFeatureCacheSource(s.cache.Stats)
 	s.metrics.SetFidelitySource(cfg.Generator.FidelityStats)
 	s.featuresFn = s.cachedFeatures
+	s.degradedFn = s.cachedDegradedFeatures
 	return s, nil
 }
 
@@ -154,6 +202,20 @@ func New(cfg Config) (*Server, error) {
 // cache with hit/miss accounting.
 func (s *Server) cachedFeatures(bag []dataset.Member) ([]float64, float64, bool, error) {
 	x, fairness, hit, err := s.cache.get(bag)
+	if err == nil {
+		if hit {
+			s.metrics.CacheHit()
+		} else {
+			s.metrics.CacheMiss()
+		}
+	}
+	return x, fairness, hit, err
+}
+
+// cachedDegradedFeatures is the default degradedFn: the fast fidelity tier
+// under the same singleflight cache, in its own key namespace.
+func (s *Server) cachedDegradedFeatures(bag []dataset.Member) ([]float64, float64, bool, error) {
+	x, fairness, hit, err := s.cache.getDegraded(bag)
 	if err == nil {
 		if hit {
 			s.metrics.CacheHit()
@@ -319,32 +381,91 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 		return writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{"POST only"})
 	}
 
-	// Bounded admission: shed load before any decoding or simulation work.
-	select {
-	case s.inflight <- struct{}{}:
-	default:
-		s.metrics.RejectSaturated()
-		w.Header().Set("Retry-After", "1")
-		return writeJSON(w, http.StatusServiceUnavailable,
-			ErrorResponse{fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight)})
+	// Bounded admission with brownout, shedding only as the last resort:
+	// an exact pool of MaxInFlight slots; past the watermark (or on an
+	// explicit degraded-allowed header) fresh admissions answer from the
+	// fast fidelity tier, drawing on a larger degraded pool — fast-tier
+	// answers are orders of magnitude cheaper, so the brownout tier keeps
+	// answering while the exact pool drains. Only when both pools are full
+	// does the server shed 503.
+	degraded := s.degradedSlots != nil && r.Header.Get(HeaderDegradedOK) != ""
+	if !degraded && s.degradedSlots != nil && len(s.inflight) >= s.watermark {
+		degraded = true
+	}
+	var slot chan struct{}
+	if !degraded {
+		select {
+		case s.inflight <- struct{}{}:
+			slot = s.inflight
+		default:
+			if s.degradedSlots == nil {
+				s.metrics.RejectSaturated()
+				w.Header().Set("Retry-After", "1")
+				return writeJSON(w, http.StatusServiceUnavailable,
+					ErrorResponse{fmt.Sprintf("server saturated: %d requests in flight", s.cfg.MaxInFlight)})
+			}
+			degraded = true
+		}
+	}
+	if slot == nil {
+		// Degraded admission: prefer the degraded pool, overflowing into
+		// the exact pool (a forced-degraded request on an idle server must
+		// not shed just because the degraded pool is sized for overload).
+		select {
+		case s.degradedSlots <- struct{}{}:
+			slot = s.degradedSlots
+		default:
+			select {
+			case s.inflight <- struct{}{}:
+				slot = s.inflight
+			default:
+				s.metrics.RejectSaturated()
+				w.Header().Set("Retry-After", "1")
+				return writeJSON(w, http.StatusServiceUnavailable,
+					ErrorResponse{fmt.Sprintf("server saturated: exact (%d) and degraded (%d) admission pools full",
+						cap(s.inflight), cap(s.degradedSlots))})
+			}
+		}
 	}
 	// The slot tracks *work*, not the handler: simulations are not
 	// cancellable mid-run, so a request that times out (504) leaves its
 	// measurement goroutine running — the slot must stay held until that
 	// work finishes, or a burst of slow bags would grow actual concurrent
-	// computes far past MaxInFlight (each 504 freeing a slot for the next
-	// admission while the previous simulation kept running). Until the
-	// goroutine is handed the slot, the handler's own returns release it.
+	// computes far past the admission bound (each 504 freeing a slot for
+	// the next admission while the previous simulation kept running).
+	// Until the goroutine is handed the slot, the handler's own returns
+	// release it.
 	s.metrics.IncInFlight()
+	if degraded {
+		s.metrics.IncDegradedInFlight()
+	}
+	release := func() {
+		s.metrics.DecInFlight()
+		if degraded {
+			s.metrics.DecDegradedInFlight()
+		}
+		<-slot
+	}
 	handedOff := false
 	defer func() {
 		if !handedOff {
-			s.metrics.DecInFlight()
-			<-s.inflight
+			release()
 		}
 	}()
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	// Honor a propagated deadline (X-Mapc-Deadline, remaining budget in
+	// milliseconds — the router stamps it per attempt) when it is tighter
+	// than the server's own RequestTimeout: answering a caller that has
+	// already given up is wasted simulation.
+	timeout := s.cfg.RequestTimeout
+	if hdr := r.Header.Get(HeaderDeadline); hdr != "" {
+		if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
+			if d := time.Duration(ms) * time.Millisecond; d < timeout {
+				timeout = d
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
 	var req PredictRequest
@@ -376,6 +497,10 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 	results := make([]BagResult, len(bags))
 	done := make(chan error, 1)
 	handedOff = true
+	featuresFn := s.featuresFn
+	if degraded {
+		featuresFn = s.degradedFn
+	}
 	go func() {
 		err := parallel.ForEach(s.cfg.Workers, len(bags), func(i int) error {
 			if ctx.Err() != nil {
@@ -386,7 +511,7 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 				bag[j] = m.member()
 			}
 			label := dataset.BagKeyOf(bag)
-			x, fairness, hit, err := s.featuresFn(bag)
+			x, fairness, hit, err := featuresFn(bag)
 			if err != nil {
 				return fmt.Errorf("bag %d (%s): %w", i, label, err)
 			}
@@ -407,8 +532,7 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 		// Release the admission slot strictly before signalling
 		// completion, so a caller that saw the response can never observe
 		// the slot still held.
-		s.metrics.DecInFlight()
-		<-s.inflight
+		release()
 		done <- err
 	}()
 
@@ -416,13 +540,13 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 	case <-ctx.Done():
 		s.metrics.RejectTimeout()
 		return writeJSON(w, http.StatusGatewayTimeout,
-			ErrorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+			ErrorResponse{fmt.Sprintf("deadline of %v exceeded", timeout)})
 	case err := <-done:
 		if err != nil {
 			if errors.Is(err, context.DeadlineExceeded) {
 				s.metrics.RejectTimeout()
 				return writeJSON(w, http.StatusGatewayTimeout,
-					ErrorResponse{fmt.Sprintf("deadline of %v exceeded", s.cfg.RequestTimeout)})
+					ErrorResponse{fmt.Sprintf("deadline of %v exceeded", timeout)})
 			}
 			if panicRelated(err) {
 				// A measurement task died mid-flight; the worker pool (or
@@ -437,9 +561,14 @@ func (s *Server) servePredict(w http.ResponseWriter, r *http.Request) int {
 		}
 	}
 	s.metrics.Predictions(len(bags))
+	if degraded {
+		s.metrics.Degraded()
+		w.Header().Set(HeaderDegraded, "1")
+	}
 	return writeJSON(w, http.StatusOK, PredictResponse{
 		ModelScheme: s.cfg.Model.Scheme().Name,
 		Results:     results,
+		Degraded:    degraded,
 	})
 }
 

@@ -12,6 +12,24 @@ import (
 // (internal/cluster) and the load generator (cmd/mapc-loadgen) speak
 // exactly the structures the server decodes — one schema, three users.
 
+// Resilience headers shared by router, serve, and loadgen.
+const (
+	// HeaderDeadline carries the caller's remaining time budget in integer
+	// milliseconds. The router stamps it on every forward from the
+	// per-attempt context; serve honors it (capped by its own
+	// RequestTimeout) instead of the static default. A duration rather
+	// than an absolute timestamp so clock skew between tiers is harmless.
+	HeaderDeadline = "X-Mapc-Deadline"
+	// HeaderDegradedOK on a request tells serve the client prefers a fast
+	// possibly-degraded answer over waiting for the exact tier: admission
+	// routes it straight to the analytic fast path.
+	HeaderDegradedOK = "X-Mapc-Degraded-OK"
+	// HeaderDegraded is set ("1") on responses answered from the degraded
+	// fast tier, mirroring the body's "degraded" field so load generators
+	// can count brownouts without parsing JSON.
+	HeaderDegraded = "X-Mapc-Degraded"
+)
+
 // Member is one application instance in the wire format.
 type Member struct {
 	Benchmark string `json:"benchmark"`
@@ -115,10 +133,14 @@ type BagResult struct {
 	Cached       bool     `json:"cached"`
 }
 
-// PredictResponse is the /v1/predict success body.
+// PredictResponse is the /v1/predict success body. Degraded is true when
+// the answer came from the brownout fast tier rather than the exact
+// simulation path (omitted when false, so pre-brownout clients and
+// byte-identity tests see an unchanged encoding).
 type PredictResponse struct {
 	ModelScheme string      `json:"model_scheme"`
 	Results     []BagResult `json:"results"`
+	Degraded    bool        `json:"degraded,omitempty"`
 }
 
 // ErrorResponse is every non-2xx JSON body.

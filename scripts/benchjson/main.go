@@ -50,9 +50,9 @@ import (
 
 // Entry is one labelled benchmark snapshot.
 type Entry struct {
-	Label              string             `json:"label"`
-	Date               string             `json:"date"`
-	CorpusPointsPerSec float64            `json:"corpus_points_per_sec,omitempty"`
+	Label              string  `json:"label"`
+	Date               string  `json:"date"`
+	CorpusPointsPerSec float64 `json:"corpus_points_per_sec,omitempty"`
 	// FidelityPointsPerSec holds per-tier bag-measurement throughput from
 	// BenchmarkFidelityCorpus, keyed "exact" | "mixed" | "fast".
 	FidelityPointsPerSec map[string]float64 `json:"fidelity_points_per_sec,omitempty"`
@@ -84,11 +84,13 @@ func main() {
 	serveCheck := flag.String("serve-check", "", "serve-check mode: BENCH_serve.json (mapc-loadgen output) to gate")
 	maxShed := flag.Float64("max-shed", 0.10, "serve-check mode: fail when any entry's shed rate exceeds this")
 	maxP99Ms := flag.Float64("max-p99-ms", 10000, "serve-check mode: fail when any entry's p99 exceeds this many ms")
+	maxErrorRate := flag.Float64("max-error-rate", 1, "serve-check mode: fail when any entry's hard-failure rate (transport errors + non-503 5xx, recomputed from status counts) exceeds this")
+	minAvailability := flag.Float64("min-availability", 0, "serve-check mode: fail when any entry's availability (1 - hard-failure rate) is below this; 0 disables the gate")
 	flag.Parse()
 
 	switch {
 	case *serveCheck != "":
-		if err := runServeCheck(*serveCheck, *maxShed, *maxP99Ms); err != nil {
+		if err := runServeCheck(*serveCheck, *maxShed, *maxP99Ms, *maxErrorRate, *minAvailability); err != nil {
 			fatal(err)
 		}
 	case *check != "":
@@ -350,11 +352,15 @@ func checkFidelity(base *Baseline, path string, minFastPoints, maxOracleErr floa
 }
 
 // runServeCheck gates every entry of a loadgen-produced BENCH_serve.json:
-// real successful traffic, shed rate within maxShed, p99 within maxP99Ms.
+// real successful traffic, shed rate within maxShed, p99 within maxP99Ms,
+// and — for the chaos job — a hard-failure rate within maxErrorRate and an
+// availability at or above minAvailability. Error rate and availability are
+// recomputed from StatusCounts rather than trusted from the entry, so
+// hand-edited or pre-resilience entries gate on the same ground truth.
 // Gating every entry (not just the newest) lets one CI run record several
 // configurations — 1-replica and 3-replica, say — and hold them all to the
 // same bar.
-func runServeCheck(path string, maxShed, maxP99Ms float64) error {
+func runServeCheck(path string, maxShed, maxP99Ms, maxErrorRate, minAvailability float64) error {
 	sb, err := benchio.Load(path)
 	if err != nil {
 		return err
@@ -374,22 +380,30 @@ func runServeCheck(path string, maxShed, maxP99Ms float64) error {
 		if e.P99Ms > maxP99Ms {
 			faults = append(faults, fmt.Sprintf("p99 %.1fms > %.1fms", e.P99Ms, maxP99Ms))
 		}
+		errRate := e.ComputedErrorRate()
+		avail := e.ComputedAvailability()
+		if errRate > maxErrorRate {
+			faults = append(faults, fmt.Sprintf("error rate %.4f > %.4f", errRate, maxErrorRate))
+		}
+		if minAvailability > 0 && avail < minAvailability {
+			faults = append(faults, fmt.Sprintf("availability %.4f < %.4f", avail, minAvailability))
+		}
 		status := "ok  "
 		if len(faults) > 0 {
 			status = "FAIL"
 			failed = true
 		}
 		fmt.Fprintf(os.Stderr,
-			"benchjson: %s %-20s %s x%d: %d req, shed %.3f, p50 %.2fms p99 %.2fms p999 %.2fms, %.1f rps (%.2f/core)%s\n",
-			status, e.Label, e.Target, e.Replicas, e.Requests, e.ShedRate,
+			"benchjson: %s %-20s %s x%d: %d req, shed %.3f, err %.4f, avail %.4f, p50 %.2fms p99 %.2fms p999 %.2fms, %.1f rps (%.2f/core)%s\n",
+			status, e.Label, e.Target, e.Replicas, e.Requests, e.ShedRate, errRate, avail,
 			e.P50Ms, e.P99Ms, e.P999Ms, e.ThroughputRPS, e.ThroughputPerCore,
 			suffixFaults(faults))
 	}
 	if failed {
 		return fmt.Errorf("serving-tier gate failed (%s)", path)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: all %d serve entries within shed <= %.3f, p99 <= %.1fms\n",
-		len(sb.Entries), maxShed, maxP99Ms)
+	fmt.Fprintf(os.Stderr, "benchjson: all %d serve entries within shed <= %.3f, p99 <= %.1fms, error rate <= %.4f\n",
+		len(sb.Entries), maxShed, maxP99Ms, maxErrorRate)
 	return nil
 }
 
