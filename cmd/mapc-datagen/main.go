@@ -20,6 +20,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"mapc/internal/dataset"
@@ -53,6 +55,9 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of corpus generation to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier: exact (cycle-level replay), mixed (analytic when confident, exact otherwise), fast (always analytic); isolated runs are exact at every tier")
+	shares := flag.String("shares", "", "MPS share profile for every shared GPU co-run: k slash- or comma-separated relative weights, e.g. 0.7/0.2/0.1 (empty = equal split)")
+	scenarios := flag.String("scenarios", "", "run a k × share-skew scenario matrix instead of one corpus: semicolon-separated cells ('2;2:0.7/0.3;4:0.85/0.05/0.05/0.05'), or 'default' for the benchmarked skew suite")
+	scenariosJSON := flag.String("scenarios-json", "", "with -scenarios, also write the matrix report as JSON to this file")
 	oracleFrac := flag.Float64("oracle", 0, "differential oracle: re-measure this fraction of bags through the exact simulators and report relative-error bounds (0 = off)")
 	oracleSeed := flag.Uint64("oracle-seed", 1, "seed selecting the oracle's bag sample (reproducible per (config, fraction, seed))")
 	maxOracleErr := flag.Float64("max-oracle-err", 0, "exit 1 when the oracle's max relative error exceeds this bound (0 = report only)")
@@ -77,6 +82,12 @@ func main() {
 		fatal(err)
 	}
 	cfg.Fidelity = fid
+	if *shares != "" {
+		cfg.Shares, err = dataset.ParseShares(*shares)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -shares: %w", err))
+		}
+	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}
@@ -90,6 +101,14 @@ func main() {
 			cfg.MixedPairs = 0 // mixed-batch pairs need >= 3 sizes
 		}
 	}
+	if *scenarios != "" {
+		if *shares != "" {
+			fatal(errors.New("-scenarios cells carry their own share profiles; drop -shares"))
+		}
+		runScenarioMatrix(cfg, *scenarios, *scenariosJSON, *oracleFrac, *oracleSeed, *maxOracleErr)
+		return
+	}
+
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)
@@ -145,8 +164,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, msg+")")
 	}
 	if fs := gen.FidelityStats(); fs.AnalyticRuns+fs.ExactFallbacks > 0 {
-		fmt.Fprintf(os.Stderr, "mapc-datagen: fidelity %s: %d analytic co-run(s), %d exact fallback(s)\n",
+		msg := fmt.Sprintf("mapc-datagen: fidelity %s: %d analytic co-run(s), %d exact fallback(s)",
 			fs.Fidelity, fs.AnalyticRuns, fs.ExactFallbacks)
+		if fs.ExactFallbacks > 0 {
+			msg += fmt.Sprintf(" (low-confidence %d, sub-SM-share %d, bandwidth-gate %d)",
+				fs.FallbackLowConfidence, fs.FallbackSubSMShare, fs.FallbackBandwidthGate)
+		}
+		fmt.Fprintln(os.Stderr, msg)
 	}
 	if st := gen.SimCacheStats(); st.Hits+st.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "mapc-datagen: simcache: %.1f%% hit rate (%d hits, %d misses, %d evictions, %.1f MiB resident)\n",
@@ -165,6 +189,62 @@ func main() {
 		if *maxOracleErr > 0 && !rep.Within(*maxOracleErr) {
 			fatal(fmt.Errorf("oracle max relative error exceeds bound %g", *maxOracleErr))
 		}
+	}
+}
+
+// runScenarioMatrix generates every cell of a k × share-skew matrix,
+// prints a per-cell table (coverage, throughput, oracle error) to stdout
+// and optionally writes the full report as JSON. -max-oracle-err gates the
+// worst cell, so a CI invocation fails loudly when skew pushes the
+// analytic tier out of its exactness envelope.
+func runScenarioMatrix(cfg dataset.Config, spec, jsonPath string, oracleFrac float64, oracleSeed uint64, maxOracleErr float64) {
+	var (
+		specs []dataset.ScenarioSpec
+		err   error
+	)
+	if spec == "default" {
+		specs = dataset.DefaultSkewScenarios()
+	} else if specs, err = dataset.ParseScenarios(spec); err != nil {
+		fatal(fmt.Errorf("parsing -scenarios: %w", err))
+	}
+	rep, err := dataset.RunScenarios(cfg, specs, oracleFrac, oracleSeed)
+	if err != nil {
+		fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tpoints\tpts/sec\tanalytic\tfallbacks (lowconf/share/bw)\toracle max gpu err")
+	for _, s := range rep.Scenarios {
+		oracle := "-"
+		if s.Oracle != nil {
+			oracle = strconv.FormatFloat(s.Oracle.MaxRelErrGPU, 'g', 3, 64)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f%%\t%d/%d/%d\t%s\n",
+			s.Name, s.Points, s.PointsPerSec, 100*s.AnalyticCoverage,
+			s.FallbackLowConfidence, s.FallbackSubSMShare, s.FallbackBandwidthGate, oracle)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "mapc-datagen: scenarios (%s): min analytic coverage %.1f%%, max oracle gpu err %.4g\n",
+		rep.Fidelity, 100*rep.MinAnalyticCoverage(), rep.MaxRelErrGPU())
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if maxOracleErr > 0 && rep.MaxRelErrGPU() > maxOracleErr {
+		fatal(fmt.Errorf("scenario oracle max relative error %.4g exceeds bound %g", rep.MaxRelErrGPU(), maxOracleErr))
 	}
 }
 

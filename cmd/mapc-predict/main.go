@@ -38,6 +38,7 @@ func main() {
 	workers := flag.Int("workers", 0, "measurement worker goroutines (0 = NumCPU, 1 = serial); predictions are identical for every value")
 	simCacheMB := flag.Int("simcache-mb", dataset.DefaultSimCacheMB, "simulation memo budget in MiB (0 = off); output is identical at every budget")
 	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier: exact | mixed | fast (analytic co-runs trade accuracy for speed; isolated runs stay exact)")
+	shares := flag.String("shares", "", "MPS share profile for every shared GPU co-run: k slash- or comma-separated relative weights, e.g. 0.7/0.3 (empty = equal split)")
 	flag.Parse()
 
 	scheme, ok := core.SchemeByName(*schemeName)
@@ -68,6 +69,12 @@ func main() {
 		fatal(err)
 	}
 	cfg.Fidelity = fid
+	if *shares != "" {
+		cfg.Shares, err = dataset.ParseShares(*shares)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -shares: %w", err))
+		}
+	}
 	gen, err := dataset.NewGenerator(cfg)
 	if err != nil {
 		fatal(err)

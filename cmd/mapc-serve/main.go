@@ -60,6 +60,7 @@ func main() {
 	warmFrom := flag.String("warm-from", "", "peer replica base URL to pull a cache snapshot from at boot (e.g. http://127.0.0.1:8081)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs consulted on cache misses before simulating locally")
 	fidelity := flag.String("fidelity", "exact", "co-run fidelity tier for training and served measurements: exact | mixed | fast (isolated runs stay exact; /metrics reports the tier and per-kind co-run counts)")
+	shares := flag.String("shares", "", "MPS share profile for every shared GPU co-run: k slash- or comma-separated relative weights, e.g. 0.7/0.3 (empty = equal split); share-qualifies the feature cache and snapshots")
 	brownout := flag.Float64("brownout-watermark", serve.DefaultBrownoutWatermark, "in-flight fraction of -max-inflight past which new requests are answered from the fast fidelity tier and marked degraded; 0 disables brownout (shed-only admission)")
 	maxDegraded := flag.Int("max-degraded-inflight", 0, "extra admission slots for degraded answers once the exact pool is full; 0 = 4x -max-inflight")
 	flag.Parse()
@@ -89,6 +90,12 @@ func main() {
 		fatal(err)
 	}
 	cfg.Fidelity = fid
+	if *shares != "" {
+		cfg.Shares, err = dataset.ParseShares(*shares)
+		if err != nil {
+			fatal(fmt.Errorf("parsing -shares: %w", err))
+		}
+	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = splitList(*benchmarks)
 	}

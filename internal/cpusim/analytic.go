@@ -165,16 +165,17 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, apps []App) ([]Result, 
 // the legacy path. Fast estimates every contended co-run analytically;
 // mixed does so only while the model's self-reported confidence clears
 // phasesum.DefaultMinConfidence, falling back to exact simulation below
-// it. The second return reports whether the exact simulator produced the
-// result (true for exact fidelity, single apps, and mixed fallbacks).
-func RunMemoFidelity(cfg Config, memo *simcache.Cache, apps []App, fid phasesum.Fidelity) ([]Result, bool, error) {
+// it. The returned RunKind reports which simulator answered; the CPU
+// model has no share partitioning or DRAM gate, so its only fallback
+// reason is low confidence.
+func RunMemoFidelity(cfg Config, memo *simcache.Cache, apps []App, fid phasesum.Fidelity) ([]Result, phasesum.RunKind, error) {
 	fid = fid.Effective()
 	if !fid.Analytic() || len(apps) == 1 {
 		res, err := RunMemo(cfg, memo, apps)
-		return res, true, err
+		return res, phasesum.RunKind{UsedExact: true}, err
 	}
 	if err := validateApps(cfg, apps); err != nil {
-		return nil, false, err
+		return nil, phasesum.RunKind{}, err
 	}
 	// Evaluate the full-contention steady state once: it is both the
 	// schedule's first step and the confidence the mixed tier gates on
@@ -182,11 +183,11 @@ func RunMemoFidelity(cfg Config, memo *simcache.Cache, apps []App, fid phasesum.
 	// the run's worst case).
 	steady, conf, err := runSteadyAnalytic(cfg, memo, apps)
 	if err != nil {
-		return nil, false, err
+		return nil, phasesum.RunKind{}, err
 	}
 	if fid == phasesum.Mixed && conf < phasesum.DefaultMinConfidence {
 		res, err := RunMemo(cfg, memo, apps)
-		return res, true, err
+		return res, phasesum.RunKind{UsedExact: true, Fallback: phasesum.FallbackLowConfidence}, err
 	}
 	first := true
 	res, err := runPhased(cfg, apps, func(sub []App) ([]Result, error) {
@@ -197,5 +198,5 @@ func RunMemoFidelity(cfg Config, memo *simcache.Cache, apps []App, fid phasesum.
 		r, _, err := runSteadyAnalytic(cfg, memo, sub)
 		return r, err
 	})
-	return res, false, err
+	return res, phasesum.RunKind{}, err
 }

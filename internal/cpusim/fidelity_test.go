@@ -20,11 +20,11 @@ func TestFidelityExactDelegatesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fid := range []phasesum.Fidelity{"", phasesum.Exact} {
-		got, usedExact, err := RunMemoFidelity(cfg, nil, apps, fid)
+		got, kind, err := RunMemoFidelity(cfg, nil, apps, fid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !usedExact {
+		if !kind.UsedExact {
 			t.Fatalf("fidelity %q did not report the exact simulator", fid)
 		}
 		if !reflect.DeepEqual(got, want) {
@@ -41,11 +41,11 @@ func TestFidelitySingleAppAlwaysExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fid := range []phasesum.Fidelity{phasesum.Mixed, phasesum.Fast} {
-		got, usedExact, err := RunMemoFidelity(cfg, nil, apps, fid)
+		got, kind, err := RunMemoFidelity(cfg, nil, apps, fid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !usedExact || !reflect.DeepEqual(got, want) {
+		if !kind.UsedExact || !reflect.DeepEqual(got, want) {
 			t.Fatalf("fidelity %q: isolated run must be the exact path", fid)
 		}
 	}
@@ -66,11 +66,11 @@ func TestFidelityFastBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, usedExact, err := RunMemoFidelity(cfg, memo, apps, phasesum.Fast)
+	fast, kind, err := RunMemoFidelity(cfg, memo, apps, phasesum.Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usedExact {
+	if kind.UsedExact {
 		t.Fatal("fast fidelity must not fall back to exact")
 	}
 	for i, r := range fast {
@@ -107,11 +107,11 @@ func TestFidelityMixedFallsBackOrMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, usedExact, err := RunMemoFidelity(cfg, memo, apps, phasesum.Mixed)
+	mixed, kind, err := RunMemoFidelity(cfg, memo, apps, phasesum.Mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usedExact {
+	if kind.UsedExact {
 		if !reflect.DeepEqual(mixed, exact) {
 			t.Fatal("mixed fallback diverged from the exact simulator")
 		}

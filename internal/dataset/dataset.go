@@ -9,8 +9,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -141,6 +143,15 @@ type Config struct {
 	// values, so any non-exact tier is folded into the journal
 	// fingerprint; the differential oracle (RunOracle) bounds the error.
 	Fidelity phasesum.Fidelity
+	// Shares is the bag's MPS SM partitioning: relative weights, indexed
+	// by canonical bag position (after the CanonicalOrder sort), applied
+	// to every shared GPU co-run the generator measures. Nil (the zero
+	// value) is the legacy equal split, bit-identical to the pair
+	// pipeline; a non-nil vector must have exactly EffectiveK positive
+	// finite entries and is folded into the journal fingerprint (like
+	// Fidelity, it changes measured targets). The CPU side has no
+	// partitioning — fairness co-runs ignore Shares.
+	Shares []float64
 }
 
 // EffectiveWorkers resolves the configured worker count: values <= 0 mean
@@ -154,6 +165,23 @@ func (c Config) EffectiveK() int {
 		return 2
 	}
 	return c.K
+}
+
+// SharesLabel renders the share vector canonically ("0.7/0.2/0.1" —
+// shortest round-tripping float form, slash-separated), or "" for the nil
+// equal split. Journal fingerprints, serve cache namespaces and scenario
+// names all use this one rendering.
+func (c Config) SharesLabel() string { return sharesLabel(c.Shares) }
+
+func sharesLabel(shares []float64) string {
+	if shares == nil {
+		return ""
+	}
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = strconv.FormatFloat(s, 'g', -1, 64)
+	}
+	return strings.Join(parts, "/")
 }
 
 // BenchmarkNames returns the effective benchmark list: Config.Benchmarks if
@@ -219,10 +247,14 @@ type Generator struct {
 
 	// Fidelity-tier counters (atomic): how many contended co-runs the
 	// analytic model answered, how many the mixed tier bounced back to the
-	// exact simulators, and how many ran exact by configuration.
-	analyticRuns   atomic.Uint64
-	exactFallbacks atomic.Uint64
-	exactRuns      atomic.Uint64
+	// exact simulators (split by the gate that bounced them), and how many
+	// ran exact by configuration.
+	analyticRuns      atomic.Uint64
+	exactFallbacks    atomic.Uint64
+	exactRuns         atomic.Uint64
+	fallbackLowConf   atomic.Uint64
+	fallbackSubShare  atomic.Uint64
+	fallbackBandwidth atomic.Uint64
 
 	mu    sync.Mutex // guards cache map structure only
 	cache map[Member]*measureEntry
@@ -237,8 +269,18 @@ type FidelityStats struct {
 	// phase-summary model.
 	AnalyticRuns uint64
 	// ExactFallbacks counts contended co-runs the mixed tier bounced back
-	// to the exact simulators for low model confidence.
+	// to the exact simulators; the three FallbackX fields split it by the
+	// gate that bounced the run and sum to it.
 	ExactFallbacks uint64
+	// FallbackLowConfidence: the phase sketches' own confidence fell
+	// under the mixed gate.
+	FallbackLowConfidence uint64
+	// FallbackSubSMShare: the fractional-share penalty (a client's SM
+	// partition well under one SM) demoted the run.
+	FallbackSubSMShare uint64
+	// FallbackBandwidthGate: aggregate DRAM demand exceeded the device
+	// bandwidth by more than phasesum.BandwidthGateRatio.
+	FallbackBandwidthGate uint64
 	// ExactRuns counts contended co-runs simulated exactly by
 	// configuration (always zero under pure fast fidelity).
 	ExactRuns uint64
@@ -247,27 +289,38 @@ type FidelityStats struct {
 // FidelityStats returns a snapshot of the fidelity-tier counters.
 func (g *Generator) FidelityStats() FidelityStats {
 	return FidelityStats{
-		Fidelity:       g.cfg.Fidelity.String(),
-		AnalyticRuns:   g.analyticRuns.Load(),
-		ExactFallbacks: g.exactFallbacks.Load(),
-		ExactRuns:      g.exactRuns.Load(),
+		Fidelity:              g.cfg.Fidelity.String(),
+		AnalyticRuns:          g.analyticRuns.Load(),
+		ExactFallbacks:        g.exactFallbacks.Load(),
+		FallbackLowConfidence: g.fallbackLowConf.Load(),
+		FallbackSubSMShare:    g.fallbackSubShare.Load(),
+		FallbackBandwidthGate: g.fallbackBandwidth.Load(),
+		ExactRuns:             g.exactRuns.Load(),
 	}
 }
 
 // countFidelity tallies one contended co-run's tier outcome.
-func (g *Generator) countFidelity(usedExact bool) {
-	g.countFidelityAs(g.cfg.Fidelity, usedExact)
+func (g *Generator) countFidelity(kind phasesum.RunKind) {
+	g.countFidelityAs(g.cfg.Fidelity, kind)
 }
 
 // countFidelityAs is countFidelity with an explicit requested tier, for
 // per-call fidelity overrides (serve's brownout path asks for fast on a
 // generator configured exact).
-func (g *Generator) countFidelityAs(fid phasesum.Fidelity, usedExact bool) {
+func (g *Generator) countFidelityAs(fid phasesum.Fidelity, kind phasesum.RunKind) {
 	switch {
-	case !usedExact:
+	case !kind.UsedExact:
 		g.analyticRuns.Add(1)
 	case fid.Analytic():
 		g.exactFallbacks.Add(1)
+		switch kind.Fallback {
+		case phasesum.FallbackSubSMShare:
+			g.fallbackSubShare.Add(1)
+		case phasesum.FallbackBandwidthGate:
+			g.fallbackBandwidth.Add(1)
+		default:
+			g.fallbackLowConf.Add(1)
+		}
 	default:
 		g.exactRuns.Add(1)
 	}
@@ -298,6 +351,16 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	}
 	if !cfg.Fidelity.Valid() {
 		return nil, fmt.Errorf("dataset: unknown fidelity %q (want exact, mixed or fast)", string(cfg.Fidelity))
+	}
+	if cfg.Shares != nil {
+		if len(cfg.Shares) != cfg.EffectiveK() {
+			return nil, fmt.Errorf("dataset: %d share weights for bag size %d (nil means equal split)", len(cfg.Shares), cfg.EffectiveK())
+		}
+		for i, s := range cfg.Shares {
+			if !(s > 0) || math.IsInf(s, 0) {
+				return nil, fmt.Errorf("dataset: Shares[%d] = %v; weights must be positive and finite", i, s)
+			}
+		}
 	}
 	seen := make(map[string]int, len(cfg.Benchmarks))
 	for i, n := range cfg.Benchmarks {
@@ -469,11 +532,11 @@ func (g *Generator) bagFairnessAs(ms []bagMember, fid phasesum.Fidelity) (float6
 	for i := range ms {
 		apps[i] = cpusim.App{Workload: ms[i].mm.workload, Threads: g.cfg.Threads}
 	}
-	cpuShared, usedExact, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, fid)
+	cpuShared, kind, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, fid)
 	if err != nil {
 		return 0, fmt.Errorf("dataset: shared CPU run %s: %w", bagLabel(ms), err)
 	}
-	g.countFidelityAs(fid, usedExact)
+	g.countFidelityAs(fid, kind)
 	perf := make([]perfmon.AppPerf, len(ms))
 	for i := range ms {
 		perf[i] = perfmon.AppPerf{IPCAlone: ms[i].mm.cpu.IPC, IPCShared: cpuShared[i].IPC}
@@ -577,11 +640,11 @@ func (g *Generator) MeasureBag(bag []Member) (Point, error) {
 	for i := range ms {
 		workloads[i] = ms[i].mm.workload
 	}
-	gpuShared, usedExact, err := gpusim.RunMemoSharesFidelity(g.cfg.GPU, g.memo, workloads, nil, g.cfg.Fidelity)
+	gpuShared, kind, err := gpusim.RunMemoSharesFidelity(g.cfg.GPU, g.memo, workloads, g.cfg.Shares, g.cfg.Fidelity)
 	if err != nil {
 		return Point{}, fmt.Errorf("dataset: shared GPU run %s: %w", bagLabel(ms), err)
 	}
-	g.countFidelity(usedExact)
+	g.countFidelity(kind)
 
 	x, err := features.BagVector(bagApps(ms), fairness)
 	if err != nil {

@@ -95,6 +95,13 @@ func (c Config) Fingerprint() string {
 		// analytic tiers never mix points with exact corpora.
 		fmt.Fprintf(&sb, ";fidelity=%s", f)
 	}
+	if c.Shares != nil {
+		// Non-nil shares change every shared-GPU target, so they join the
+		// fingerprint; the nil equal split keeps legacy fingerprints, and
+		// an explicit uniform vector is deliberately distinct from nil
+		// (bit-identical values, but a different declared intent).
+		fmt.Fprintf(&sb, ";shares=%s", c.SharesLabel())
+	}
 	sum := sha256.Sum256([]byte(sb.String()))
 	return hex.EncodeToString(sum[:])
 }

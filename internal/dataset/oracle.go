@@ -54,21 +54,24 @@ func (g *Generator) bagTargets(bag []Member) (cpuMakespan, gpuBagTime float64, e
 		apps[i] = cpusim.App{Workload: ms[i].mm.workload, Threads: g.cfg.Threads}
 		workloads[i] = ms[i].mm.workload
 	}
-	cpuShared, usedExact, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, g.cfg.Fidelity)
+	cpuShared, kind, err := cpusim.RunMemoFidelity(g.cfg.CPU, g.memo, apps, g.cfg.Fidelity)
 	if err != nil {
 		return 0, 0, fmt.Errorf("dataset: shared CPU run %s: %w", bagLabel(ms), err)
 	}
-	g.countFidelity(usedExact)
+	g.countFidelity(kind)
 	for i := range cpuShared {
 		if cpuShared[i].TimeSec > cpuMakespan {
 			cpuMakespan = cpuShared[i].TimeSec
 		}
 	}
-	gpuShared, usedExact, err := gpusim.RunMemoSharesFidelity(g.cfg.GPU, g.memo, workloads, nil, g.cfg.Fidelity)
+	// The generation share vector rides along (g.cfg.Shares): the exact
+	// twin inherits it through the copied config, so skewed corpora are
+	// scored against the matching exact co-run, not the equal split.
+	gpuShared, kind, err := gpusim.RunMemoSharesFidelity(g.cfg.GPU, g.memo, workloads, g.cfg.Shares, g.cfg.Fidelity)
 	if err != nil {
 		return 0, 0, fmt.Errorf("dataset: shared GPU run %s: %w", bagLabel(ms), err)
 	}
-	g.countFidelity(usedExact)
+	g.countFidelity(kind)
 	return cpuMakespan, gpusim.BagTime(gpuShared), nil
 }
 

@@ -96,14 +96,23 @@ func smSharesOf(cfg Config, n int, shares []float64) []float64 {
 	return out
 }
 
+// analyticGate is the steady evaluation's self-assessment: the combined
+// model confidence after the share and bandwidth terms, and — when conf
+// sits under phasesum.DefaultMinConfidence — which term pushed it there.
+type analyticGate struct {
+	conf   float64
+	reason phasesum.FallbackReason
+}
+
 // runSteadyAnalytic is the analytic counterpart of runSteady: exact
 // isolated anchors (memo hits), closed-form shared-L2 and shared-TLB miss
-// estimates, then the identical timing tail. Returns the model's combined
-// confidence; an isolated client is computed exactly (confidence 1).
-func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, float64, error) {
+// estimates, then the identical timing tail. Returns the model's gate
+// (combined confidence plus the would-be fallback reason); an isolated
+// client is computed exactly (confidence 1).
+func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64) ([]Result, analyticGate, error) {
 	if len(workloads) == 1 {
 		res, err := runSteady(cfg, memo, workloads, shares)
-		return res, 1, err
+		return res, analyticGate{conf: 1}, err
 	}
 	n := len(workloads)
 	lineSums := make([][]phasesum.PhaseSum, n)
@@ -113,7 +122,7 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Work
 	for ai, w := range workloads {
 		sum, err := streamSummaryFor(memo, w, ai)
 		if err != nil {
-			return nil, 0, err
+			return nil, analyticGate{}, err
 		}
 		lineSums[ai] = sum.Line
 		pageSums[ai] = sum.Page
@@ -124,7 +133,7 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Work
 		// anchor transfers; the residual is what the oracle bounds.
 		isoMem, _, _, err := simulateMemory(cfg, memo, []*trace.Workload{w})
 		if err != nil {
-			return nil, 0, err
+			return nil, analyticGate{}, err
 		}
 		isoMems[ai] = isoMem[0]
 	}
@@ -143,15 +152,7 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Work
 	if c := phasesum.CombineConfidence(shTLB, pageSums); c < conf {
 		conf = c
 	}
-	// Hard guard: a partition thinner than one SM is outside the model's
-	// regime — occupancy and MLP scaling there are dominated by effects
-	// the summaries cannot see, so force the mixed tier to exact.
-	for _, s := range smSharesOf(cfg, n, shares) {
-		if s < 1 {
-			conf = 0
-			break
-		}
-	}
+	smShares := smSharesOf(cfg, n, shares)
 
 	mem := make([][]phaseMem, n)
 	l2Rates := make([]float64, n)
@@ -182,7 +183,38 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Work
 			tlbRates[ai] = tlbSum / refSum
 		}
 	}
-	return steadyFromMem(cfg, workloads, shares, mem, l2Rates, tlbRates), conf, nil
+
+	// DRAM-contention term: each client's demanded rate is its modelled
+	// miss traffic spread over the anchored per-partition time (the same
+	// prelim pass steadyFromMem feeds its waterfill from, before the
+	// bandwidth floor applies). The bound fraction raises confidence —
+	// saturated phase times are pinned by bytes/bandwidth and stop caring
+	// about threshold-straddling reuse mass — while demand far past the
+	// device bandwidth trips a hard regime gate. See phasesum/shares.go.
+	demands := make([]phasesum.BandwidthDemand, n)
+	for ai, w := range workloads {
+		cycles, bytes := appCycles(cfg, w, mem[ai], smShares[ai], n, 0)
+		demands[ai] = phasesum.BandwidthDemand{Bytes: bytes, Sec: cycles / (cfg.FreqGHz * 1e9)}
+	}
+	gate := analyticGate{conf: conf}
+	if phasesum.TotalBandwidthDemand(demands) > phasesum.BandwidthGateRatio*cfg.DRAMBandwidth {
+		gate = analyticGate{conf: 0, reason: phasesum.FallbackBandwidthGate}
+	} else {
+		bwConf := phasesum.BandwidthConfidence(conf, phasesum.BandwidthBoundFrac(cfg.DRAMBandwidth, demands))
+		// The share penalty replaces the former sub-SM hard refusal: a
+		// continuous effective-capacity deflation by the thinnest client's
+		// partition (phasesum.ShareConfidence), applied after the
+		// bandwidth blend so extreme skew still demotes saturated bags.
+		gate.conf = bwConf * phasesum.ShareConfidence(smShares)
+		if gate.conf < phasesum.DefaultMinConfidence {
+			if bwConf >= phasesum.DefaultMinConfidence {
+				gate.reason = phasesum.FallbackSubSMShare
+			} else {
+				gate.reason = phasesum.FallbackLowConfidence
+			}
+		}
+	}
+	return steadyFromMem(cfg, workloads, shares, mem, l2Rates, tlbRates), gate, nil
 }
 
 // RunMemoSharesFidelity is RunMemoShares with a fidelity tier. Exact
@@ -190,29 +222,30 @@ func runSteadyAnalytic(cfg Config, memo *simcache.Cache, workloads []*trace.Work
 // unchanged — bit-identical to the legacy path. Fast estimates every
 // contended co-run analytically; mixed does so only while the model's
 // self-reported confidence clears phasesum.DefaultMinConfidence, falling
-// back to exact simulation below it (extreme share skew and sub-SM
-// partitions land here by construction). The second return reports
-// whether the exact simulator produced the result.
-func RunMemoSharesFidelity(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64, fid phasesum.Fidelity) ([]Result, bool, error) {
+// back to exact simulation below it (extreme share skew and demand far
+// past the device bandwidth land here by construction). The returned
+// RunKind reports which simulator answered and, for mixed-tier
+// fallbacks, which gate bounced the run.
+func RunMemoSharesFidelity(cfg Config, memo *simcache.Cache, workloads []*trace.Workload, shares []float64, fid phasesum.Fidelity) ([]Result, phasesum.RunKind, error) {
 	fid = fid.Effective()
 	if !fid.Analytic() || len(workloads) == 1 {
 		res, err := RunMemoShares(cfg, memo, workloads, shares)
-		return res, true, err
+		return res, phasesum.RunKind{UsedExact: true}, err
 	}
 	if err := validateRun(cfg, workloads, shares); err != nil {
-		return nil, false, err
+		return nil, phasesum.RunKind{}, err
 	}
 	// Evaluate the full-contention steady state once: it is both the
 	// schedule's first step and the confidence the mixed tier gates on
 	// (the full client set is the most contended, so its confidence is
 	// the run's worst case).
-	steady, conf, err := runSteadyAnalytic(cfg, memo, workloads, shares)
+	steady, gate, err := runSteadyAnalytic(cfg, memo, workloads, shares)
 	if err != nil {
-		return nil, false, err
+		return nil, phasesum.RunKind{}, err
 	}
-	if fid == phasesum.Mixed && conf < phasesum.DefaultMinConfidence {
+	if fid == phasesum.Mixed && gate.conf < phasesum.DefaultMinConfidence {
 		res, err := RunMemoShares(cfg, memo, workloads, shares)
-		return res, true, err
+		return res, phasesum.RunKind{UsedExact: true, Fallback: gate.reason}, err
 	}
 	first := true
 	res, err := runPhased(cfg, workloads, shares, func(sub []*trace.Workload, subShares []float64) ([]Result, error) {
@@ -223,5 +256,5 @@ func RunMemoSharesFidelity(cfg Config, memo *simcache.Cache, workloads []*trace.
 		r, _, err := runSteadyAnalytic(cfg, memo, sub, subShares)
 		return r, err
 	})
-	return res, false, err
+	return res, phasesum.RunKind{}, err
 }

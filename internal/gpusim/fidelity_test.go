@@ -24,11 +24,11 @@ func TestFidelityExactDelegatesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fid := range []phasesum.Fidelity{"", phasesum.Exact} {
-		got, usedExact, err := RunMemoSharesFidelity(cfg, nil, ws, nil, fid)
+		got, kind, err := RunMemoSharesFidelity(cfg, nil, ws, nil, fid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !usedExact {
+		if !kind.UsedExact {
 			t.Fatalf("fidelity %q did not report the exact simulator", fid)
 		}
 		if !reflect.DeepEqual(got, want) {
@@ -45,11 +45,11 @@ func TestFidelitySingleClientAlwaysExact(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fid := range []phasesum.Fidelity{phasesum.Mixed, phasesum.Fast} {
-		got, usedExact, err := RunMemoSharesFidelity(cfg, nil, ws, nil, fid)
+		got, kind, err := RunMemoSharesFidelity(cfg, nil, ws, nil, fid)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !usedExact || !reflect.DeepEqual(got, want) {
+		if !kind.UsedExact || !reflect.DeepEqual(got, want) {
 			t.Fatalf("fidelity %q: isolated run must be the exact path", fid)
 		}
 	}
@@ -68,12 +68,15 @@ func TestFidelityMixedDegradesUnderShareSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, usedExact, err := RunMemoSharesFidelity(cfg, memo, ws, shares, phasesum.Mixed)
+	got, kind, err := RunMemoSharesFidelity(cfg, memo, ws, shares, phasesum.Mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !usedExact {
+	if !kind.UsedExact {
 		t.Fatal("mixed fidelity trusted the model on a sub-SM partition")
+	}
+	if kind.Fallback != phasesum.FallbackSubSMShare {
+		t.Fatalf("fallback reason %q, want %q", kind.Fallback, phasesum.FallbackSubSMShare)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatal("mixed fallback diverged from the exact simulator")
@@ -111,11 +114,11 @@ func TestFidelityFastBoundedUnderShareSkew(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, usedExact, err := RunMemoSharesFidelity(cfg, memo, ws, shares, phasesum.Fast)
+	fast, kind, err := RunMemoSharesFidelity(cfg, memo, ws, shares, phasesum.Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usedExact {
+	if kind.UsedExact {
 		t.Fatal("fast fidelity must not fall back to exact")
 	}
 	checkSane(t, fast, exact)
@@ -141,22 +144,22 @@ func TestFidelityK8Uniform(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mixed, usedExact, err := RunMemoSharesFidelity(cfg, memo, ws, nil, phasesum.Mixed)
+	mixed, kind, err := RunMemoSharesFidelity(cfg, memo, ws, nil, phasesum.Mixed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usedExact {
+	if kind.UsedExact {
 		if !reflect.DeepEqual(mixed, exact) {
 			t.Fatal("mixed fallback diverged from the exact simulator at k=8")
 		}
 	} else {
 		checkSane(t, mixed, exact)
 	}
-	fast, usedExact, err := RunMemoSharesFidelity(cfg, memo, ws, nil, phasesum.Fast)
+	fast, kind, err := RunMemoSharesFidelity(cfg, memo, ws, nil, phasesum.Fast)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if usedExact {
+	if kind.UsedExact {
 		t.Fatal("fast fidelity must not fall back to exact")
 	}
 	checkSane(t, fast, exact)

@@ -1,0 +1,69 @@
+package phasesum
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShareConfidence(t *testing.T) {
+	cases := []struct {
+		name   string
+		shares []float64
+		want   float64
+	}{
+		{"all above one SM", []float64{20, 20}, 1},
+		{"exactly one SM", []float64{39, 1}, 1},
+		{"half an SM", []float64{39.5, 0.5}, 0.5},
+		{"thinnest client bounds", []float64{30, 9.6, 0.4}, 0.4},
+		{"zero share refused", []float64{40, 0}, 0},
+		{"negative share refused", []float64{41, -1}, 0},
+		{"empty", nil, 1},
+	}
+	for _, c := range cases {
+		if got := ShareConfidence(c.shares); got != c.want {
+			t.Errorf("%s: ShareConfidence(%v) = %v, want %v", c.name, c.shares, got, c.want)
+		}
+	}
+}
+
+func TestBandwidthBoundFrac(t *testing.T) {
+	// Two clients demanding 100+100 GB/s against a 320 GB/s device: fits,
+	// so nothing is bandwidth-bound.
+	fits := []BandwidthDemand{{Bytes: 100e9, Sec: 1}, {Bytes: 100e9, Sec: 1}}
+	if got := BandwidthBoundFrac(320e9, fits); got != 0 {
+		t.Errorf("unsaturated bag: boundFrac = %v, want 0", got)
+	}
+	// 640 GB/s demanded against 320: exactly half the demanded rate is
+	// beyond the device.
+	sat := []BandwidthDemand{{Bytes: 320e9, Sec: 1}, {Bytes: 640e9, Sec: 2}}
+	if got := BandwidthBoundFrac(320e9, sat); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("2x-saturated bag: boundFrac = %v, want 0.5", got)
+	}
+	// Zero-time clients contribute no demand rather than dividing by zero.
+	degenerate := []BandwidthDemand{{Bytes: 1e9, Sec: 0}}
+	if got := BandwidthBoundFrac(320e9, degenerate); got != 0 {
+		t.Errorf("zero-time client: boundFrac = %v, want 0", got)
+	}
+}
+
+func TestBandwidthConfidence(t *testing.T) {
+	// Unbound bags keep their confidence; fully bound bags are forgiven
+	// entirely; the blend is monotone in between.
+	if got := BandwidthConfidence(0.6, 0); got != 0.6 {
+		t.Errorf("boundFrac 0: conf = %v, want 0.6", got)
+	}
+	if got := BandwidthConfidence(0.6, 1); got != 1 {
+		t.Errorf("boundFrac 1: conf = %v, want 1", got)
+	}
+	if got := BandwidthConfidence(0.6, 0.5); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("boundFrac 0.5: conf = %v, want 0.8", got)
+	}
+	prev := 0.0
+	for f := 0.0; f <= 1.0; f += 0.125 {
+		c := BandwidthConfidence(0.5, f)
+		if c < prev {
+			t.Fatalf("BandwidthConfidence not monotone in boundFrac at %v", f)
+		}
+		prev = c
+	}
+}

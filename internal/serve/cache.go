@@ -87,6 +87,13 @@ type featureCache struct {
 	// the local simulation. It runs inside the singleflight slot, so
 	// concurrent misses on one bag cost one peer probe.
 	fill func(key string) (x []float64, fairness float64, ok bool)
+	// shares qualifies every key with the generator's MPS share profile
+	// (dataset Config.SharesLabel; "" for the equal split). Features are
+	// share-independent today, but the share vector is generator state
+	// that changes measured co-runs, so two profiles must never share a
+	// cache namespace — the same reasoning that keeps degraded entries
+	// out of the exact domain.
+	shares string
 
 	lru *simcache.Cache
 }
@@ -103,6 +110,7 @@ func newFeatureCache(gen *dataset.Generator, budgetMB int) *featureCache {
 			return gen.BagFeaturesFidelity(bag, phasesum.Fast)
 		},
 		canonical: gen.Config().CanonicalOrder,
+		shares:    gen.Config().SharesLabel(),
 		lru:       simcache.MustNew(int64(budgetMB) << 20),
 	}
 }
@@ -129,16 +137,27 @@ func (c *featureCache) key(bag []dataset.Member) (string, []dataset.Member) {
 	return dataset.BagKeyOf(bag), bag
 }
 
-// cacheKey maps the canonical bag key into the simcache key space. The bag
-// key rides in the Config field — exact string equality, no hashing, so
-// distinct bags can never collide.
-func cacheKey(bagKey string) simcache.Key {
-	return simcache.Key{Domain: featureDomain, Config: bagKey}
+// shareDomain qualifies a cache domain with the share profile. The equal
+// split keeps the bare domain, identical to the pre-shares key shape, so
+// existing deployments see unchanged keys; any explicit profile gets its
+// own namespace by exact string append — no hashing, so distinct profiles
+// can never collide.
+func shareDomain(base, shares string) string {
+	if shares == "" {
+		return base
+	}
+	return base + "?shares=" + shares
+}
+
+// cacheKey maps the canonical bag key into the simcache key space: the
+// share-qualified domain plus the bag key in the Config field.
+func (c *featureCache) cacheKey(bagKey string) simcache.Key {
+	return simcache.Key{Domain: shareDomain(featureDomain, c.shares), Config: bagKey}
 }
 
 // degradedKey is cacheKey in the fast-tier namespace.
-func degradedKey(bagKey string) simcache.Key {
-	return simcache.Key{Domain: degradedDomain, Config: bagKey}
+func (c *featureCache) degradedKey(bagKey string) simcache.Key {
+	return simcache.Key{Domain: shareDomain(degradedDomain, c.shares), Config: bagKey}
 }
 
 // get returns the bag's raw feature vector and fairness, computing them at
@@ -167,9 +186,9 @@ func (c *featureCache) getDegraded(bag []dataset.Member) (x []float64, fairness 
 
 func (c *featureCache) lookup(bag []dataset.Member, degraded bool) (x []float64, fairness float64, hit bool, err error) {
 	k, canon := c.key(bag)
-	key := cacheKey(k)
+	key := c.cacheKey(k)
 	if degraded {
-		key = degradedKey(k)
+		key = c.degradedKey(k)
 	}
 	v, outcome, err := c.lru.Lookup(key, func() (any, int64, error) {
 		fv, err := c.computeValue(k, canon, degraded)
@@ -214,7 +233,7 @@ func (c *featureCache) computeValue(key string, canon []dataset.Member, degraded
 // peek returns the published entry for a canonical bag key without
 // waiting, computing, or touching recency — the peer-fill serving side.
 func (c *featureCache) peek(bagKey string) (*featureValue, bool) {
-	v, ok := c.lru.Peek(cacheKey(bagKey))
+	v, ok := c.lru.Peek(c.cacheKey(bagKey))
 	if !ok {
 		return nil, false
 	}
@@ -225,7 +244,7 @@ func (c *featureCache) peek(bagKey string) (*featureValue, bool) {
 // wins. Reports whether this call inserted a still-resident entry.
 func (c *featureCache) seed(bagKey string, x []float64, fairness float64) bool {
 	fv := &featureValue{x: x, fairness: fairness}
-	return c.lru.Seed(cacheKey(bagKey), fv, fv.sizeBytes(bagKey))
+	return c.lru.Seed(c.cacheKey(bagKey), fv, fv.sizeBytes(bagKey))
 }
 
 // entries lists the published exact-tier entries MRU-first (the snapshot
@@ -234,7 +253,7 @@ func (c *featureCache) seed(bagKey string, x []float64, fairness float64) bool {
 func (c *featureCache) entries() []SnapshotEntry {
 	var out []SnapshotEntry
 	c.lru.Items(func(key simcache.Key, val any, _ int64) bool {
-		if key.Domain != featureDomain {
+		if key.Domain != shareDomain(featureDomain, c.shares) {
 			return true
 		}
 		if fv, ok := val.(*featureValue); ok {

@@ -75,6 +75,15 @@ func TestFidelityMetricsExposition(t *testing.T) {
 		t.Errorf("fast-fidelity serving reported %v unconditional-exact co-runs", v)
 	}
 	labelledMetric(t, exp, `mapc_fidelity_runs_total{kind="exact_fallback"}`) // present, any value
+	// The per-reason fallback split is always exposed, one line per reason,
+	// and must account for every fallback counted above.
+	var reasons float64
+	for _, reason := range []string{"low_confidence", "sub_sm_share", "bandwidth_gate"} {
+		reasons += labelledMetric(t, exp, `mapc_fidelity_fallbacks_total{reason="`+reason+`"}`)
+	}
+	if total := labelledMetric(t, exp, `mapc_fidelity_runs_total{kind="exact_fallback"}`); reasons != total {
+		t.Errorf("fallback reasons sum to %v, want %v", reasons, total)
+	}
 }
 
 // TestFidelityMetricsDefaultExact: the package fixture's generator runs at

@@ -304,6 +304,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		metricLine{`mapc_fidelity_runs_total{kind="analytic"}`, int64(fid.AnalyticRuns)},
 		metricLine{`mapc_fidelity_runs_total{kind="exact_fallback"}`, int64(fid.ExactFallbacks)},
 		metricLine{`mapc_fidelity_runs_total{kind="exact"}`, int64(fid.ExactRuns)},
+		// The fallback total split by the gate that bounced each run:
+		// low_confidence rises when the traffic mix strains the sketches,
+		// sub_sm_share when clients request partitions under one SM, and
+		// bandwidth_gate when aggregate DRAM demand leaves the model's
+		// regime entirely.
+		metricLine{`mapc_fidelity_fallbacks_total{reason="low_confidence"}`, int64(fid.FallbackLowConfidence)},
+		metricLine{`mapc_fidelity_fallbacks_total{reason="sub_sm_share"}`, int64(fid.FallbackSubSMShare)},
+		metricLine{`mapc_fidelity_fallbacks_total{reason="bandwidth_gate"}`, int64(fid.FallbackBandwidthGate)},
 	)
 	for _, l := range lines {
 		var err error

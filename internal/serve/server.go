@@ -586,6 +586,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CachedBags:      s.cache.Len(),
 		InFlight:        s.metrics.InFlight(),
 		UptimeSec:       time.Since(s.metrics.start).Seconds(),
+		Shares:          s.cache.shares,
 	}))
 }
 

@@ -40,6 +40,7 @@ func (s *Server) Snapshot() Snapshot {
 		ModelScheme: s.cfg.Model.Scheme().Name,
 		K:           s.trainedK,
 		Width:       s.cfg.Model.NumFeatures(),
+		Shares:      s.cache.shares,
 		Entries:     s.cache.entries(),
 	}
 }
@@ -65,6 +66,10 @@ func (s *Server) SeedSnapshot(snap *Snapshot) (int, error) {
 	if snap.Width != width || snap.K != s.trainedK {
 		return 0, fmt.Errorf("serve: snapshot shape (k=%d, width=%d) does not match the loaded model (k=%d, width=%d)",
 			snap.K, snap.Width, s.trainedK, width)
+	}
+	if snap.Shares != s.cache.shares {
+		return 0, fmt.Errorf("serve: snapshot from share profile %q cannot seed a server measuring profile %q",
+			snap.Shares, s.cache.shares)
 	}
 	seeded := 0
 	for i, e := range snap.Entries {

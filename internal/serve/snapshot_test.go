@@ -96,6 +96,7 @@ func TestSeedSnapshotRejectsMismatches(t *testing.T) {
 		{"wrong scheme", func(sn *Snapshot) { sn.ModelScheme = "nosuch" }, "scheme"},
 		{"wrong k", func(sn *Snapshot) { sn.K = 7 }, "does not match"},
 		{"wrong width", func(sn *Snapshot) { sn.Width = width + 1 }, "does not match"},
+		{"wrong shares", func(sn *Snapshot) { sn.Shares = "0.7/0.3" }, "share profile"},
 		{"empty key", func(sn *Snapshot) { sn.Entries = []SnapshotEntry{{X: make([]float64, width)}} }, "empty key"},
 		{"short vector", func(sn *Snapshot) { sn.Entries = []SnapshotEntry{{Key: "k", X: make([]float64, 3)}} }, "features"},
 	}

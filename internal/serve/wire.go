@@ -157,6 +157,9 @@ type HealthResponse struct {
 	CachedBags      int     `json:"cached_bags"`
 	InFlight        int64   `json:"in_flight"`
 	UptimeSec       float64 `json:"uptime_sec"`
+	// Shares is the generator's MPS share profile (dataset
+	// Config.SharesLabel), omitted for the equal split.
+	Shares string `json:"shares,omitempty"`
 }
 
 // CacheEntryResponse is the GET /v1/cache/entry body: one published
@@ -177,11 +180,16 @@ const SnapshotFormat = "mapc-feature-snapshot-v1"
 // Entries are ordered most- to least-recently used, so restoring into a
 // smaller budget keeps the hottest prefix.
 type Snapshot struct {
-	Format      string          `json:"format"`
-	ModelScheme string          `json:"model_scheme"`
-	K           int             `json:"k"`
-	Width       int             `json:"width"`
-	Entries     []SnapshotEntry `json:"entries"`
+	Format      string `json:"format"`
+	ModelScheme string `json:"model_scheme"`
+	K           int    `json:"k"`
+	Width       int    `json:"width"`
+	// Shares is the generator's MPS share profile (empty for the equal
+	// split). Feature vectors are share-independent today, but the cache
+	// namespace is share-qualified (see featureCache), so snapshots only
+	// seed replicas measuring the same profile.
+	Shares  string          `json:"shares,omitempty"`
+	Entries []SnapshotEntry `json:"entries"`
 }
 
 // SnapshotEntry is one cached bag: its canonical key and raw features.
